@@ -1,0 +1,98 @@
+"""Figure 4: speedups of the GMS BK variants over BK-DAS across the suite.
+
+One panel per dataset: simulated 16-thread runtimes of BK-DAS and the four
+GMS variants, plus the fraction of each runtime spent reordering (the
+stacked dark bars of the figure).  Expected shape: consistent GMS speedups
+over BK-DAS (often >1.5×, sometimes much more), with DGR showing a visible
+reordering fraction that ADG removes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import load_dataset, suite
+from repro.mining import BK_VARIANTS, run_bk_variant
+from repro.platform import (
+    parallel_reorder_seconds,
+    simulated_parallel_seconds,
+    write_artifact,
+)
+
+THREADS = 16
+
+
+def run_fig4():
+    rows = []
+    for name in suite("default"):
+        graph = load_dataset(name)
+        per_variant = {}
+        for variant in BK_VARIANTS:
+            res = run_bk_variant(graph, variant)
+            total = simulated_parallel_seconds(res, THREADS)
+            ordering = "DGR" if variant == "BK-DAS" else variant.split("-")[2]
+            reorder = parallel_reorder_seconds(
+                ordering, res.reorder_seconds, res.ordering_rounds, THREADS
+            )
+            per_variant[variant] = {
+                "seconds": total,
+                "reorder_fraction": reorder / total if total else 0.0,
+                "cliques": res.num_cliques,
+            }
+        das = per_variant["BK-DAS"]["seconds"]
+        for variant, rec in per_variant.items():
+            rows.append(
+                {
+                    "graph": name,
+                    "variant": variant,
+                    "seconds": rec["seconds"],
+                    "speedup_over_das": das / rec["seconds"],
+                    "reorder_fraction": rec["reorder_fraction"],
+                    "cliques": rec["cliques"],
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_bk_speedups(benchmark, show_table):
+    rows = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    show_table(
+        f"Figure 4 — BK runtime & speedup over BK-DAS ({THREADS} threads)",
+        ["graph", "variant", "time [ms]", "speedup", "reorder %"],
+        [
+            [
+                r["graph"],
+                r["variant"],
+                f"{1000 * r['seconds']:.1f}",
+                f"{r['speedup_over_das']:.2f}x",
+                f"{100 * r['reorder_fraction']:.0f}%",
+            ]
+            for r in rows
+        ],
+    )
+    write_artifact("fig4_bk_speedups", rows)
+
+    graphs = {r["graph"] for r in rows}
+    best = {
+        g: max(
+            r["speedup_over_das"]
+            for r in rows
+            if r["graph"] == g and r["variant"] != "BK-DAS"
+        )
+        for g in graphs
+    }
+    # Consistent speedups: the best GMS variant wins on ~all graphs ...
+    winners = sum(1 for s in best.values() if s > 1.0)
+    assert winners >= 0.85 * len(graphs), f"GMS won only {winners}/{len(graphs)}"
+    # ... often by >50% (the paper's phrasing), sometimes by much more.
+    assert sum(1 for s in best.values() if s > 1.5) >= 0.5 * len(graphs)
+    assert max(best.values()) > 3.0
+    # DGR pays a larger reordering fraction than ADG on most graphs.
+    dgr_heavier = 0
+    for g in graphs:
+        dgr = next(r for r in rows if r["graph"] == g and r["variant"] == "BK-GMS-DGR")
+        adg = next(r for r in rows if r["graph"] == g and r["variant"] == "BK-GMS-ADG")
+        if dgr["reorder_fraction"] >= adg["reorder_fraction"]:
+            dgr_heavier += 1
+    assert dgr_heavier >= 0.7 * len(graphs)

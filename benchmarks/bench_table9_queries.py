@@ -1,0 +1,90 @@
+"""Table 9: graph-query costs across storage models (appendix B).
+
+Micro-benchmarks the six query kinds of Table 9 — vertex iteration, edge
+iteration, neighborhood iteration, degree, edge existence — over AL, AM,
+and the two edge lists, and checks the predicted complexity separations:
+``has_edge`` is O(1) on AM vs Θ(m) on unsorted EL; neighborhoods are O(Δ)
+on AL vs Θ(m) on unsorted EL; etc.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import GRAPH_MODELS, build_model
+from repro.graph import generators as gen
+from repro.platform import write_artifact
+
+QUERIES = 400
+
+
+def run_table9():
+    graph = gen.erdos_renyi_nm(800, 4000, seed=99)
+    rng = np.random.default_rng(7)
+    probe_v = rng.integers(0, graph.num_nodes, size=QUERIES).tolist()
+    probe_uv = rng.integers(0, graph.num_nodes, size=(QUERIES, 2)).tolist()
+    results = {}
+    for kind in GRAPH_MODELS:
+        model = build_model(graph, kind)
+        t0 = time.perf_counter()
+        for v in probe_v:
+            model.neighbors(v)
+        neigh_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for v in probe_v:
+            model.degree(v)
+        degree_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        hits = 0
+        for u, v in probe_uv:
+            hits += model.has_edge(u, v)
+        edge_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        edge_count = sum(1 for _ in model.iter_edges())
+        iter_seconds = time.perf_counter() - t0
+        results[kind] = {
+            "neighbors_us": 1e6 * neigh_seconds / QUERIES,
+            "degree_us": 1e6 * degree_seconds / QUERIES,
+            "has_edge_us": 1e6 * edge_seconds / QUERIES,
+            "iter_edges_ms": 1e3 * iter_seconds,
+            "hits": hits,
+            "edge_count": edge_count,
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="table9")
+def test_table9_queries(benchmark, show_table):
+    results = benchmark.pedantic(run_table9, rounds=1, iterations=1)
+    show_table(
+        "Table 9 — per-query costs across storage models",
+        ["model", "neighbors [us]", "degree [us]", "has_edge [us]",
+         "iter edges [ms]"],
+        [
+            [kind, f"{rec['neighbors_us']:.1f}", f"{rec['degree_us']:.1f}",
+             f"{rec['has_edge_us']:.1f}", f"{rec['iter_edges_ms']:.1f}"]
+            for kind, rec in results.items()
+        ],
+    )
+    write_artifact("table9_queries", results)
+
+    # All models agree on query answers.
+    assert len({rec["hits"] for rec in results.values()}) == 1
+    assert len({rec["edge_count"] for rec in results.values()}) == 1
+    # Θ(m) neighborhood scans on unsorted EL vs O(Δ)/O(log m + Δ) elsewhere.
+    assert results["EL-unsorted"]["neighbors_us"] > 2 * results["AL"][
+        "neighbors_us"
+    ]
+    assert results["EL-unsorted"]["neighbors_us"] > 2 * results["EL-sorted"][
+        "neighbors_us"
+    ]
+    # Θ(m) edge-existence scans on unsorted EL vs O(1)/O(log) elsewhere.
+    assert results["EL-unsorted"]["has_edge_us"] > 3 * results["AM"][
+        "has_edge_us"
+    ]
+    assert results["EL-unsorted"]["has_edge_us"] > 3 * results["AL"][
+        "has_edge_us"
+    ]

@@ -1,0 +1,28 @@
+"""Shared fixtures for the figure/table reproduction benches."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print rows through captured stdout so they reach the terminal."""
+
+    def _show(*args, **kwargs):
+        with capsys.disabled():
+            print(*args, **kwargs)
+
+    return _show
+
+
+@pytest.fixture
+def show_table(capsys):
+    """Render one paper-shaped table, bypassing pytest's capture."""
+    from repro.platform import print_table
+
+    def _show(title, header, rows):
+        with capsys.disabled():
+            print_table(title, header, rows)
+
+    return _show

@@ -1,0 +1,67 @@
+"""Concurrency analysis in practice (paper section 7).
+
+Demonstrates the GMS workflow of judging an algorithm's scalability
+*before* committing to an implementation: evaluate the closed-form
+work/depth bounds of Table 5, then validate the prediction against a
+simulated parallel execution of the real code (measured per-task costs
+replayed through the W/p + D scheduler).
+
+The worked comparison is the paper's own headline: BK over the exact
+degeneracy order (DGR: n sequential peeling iterations) versus BK over
+the (2+ε)-approximate order (ADG: O(log² n) depth) — theory says ADG
+should dominate as threads grow, and the simulation agrees.
+
+Run:  python examples/concurrency_analysis.py
+"""
+
+import math
+
+from repro.core import BitSet
+from repro.graph import load_dataset
+from repro.mining import bron_kerbosch
+from repro.platform import simulated_parallel_seconds
+from repro.theory import TABLE5
+
+THREADS = [1, 2, 4, 8, 16, 32]
+
+
+def main() -> None:
+    graph = load_dataset("orkut-mini")
+    n, m = graph.num_nodes, graph.num_edges
+    from repro.preprocess import degeneracy_order
+
+    _, d = degeneracy_order(graph)
+    print(f"graph: {graph}, degeneracy d={d}")
+
+    # -- 1. A-priori judgement from the Table 5 bounds ----------------------
+    print("\nTable 5 predictions (relative units):")
+    for name in ("adg", "bk-adg", "bk-das"):
+        bound = TABLE5[name]
+        work = bound.work(n=n, m=m, d=d, k=4, eps=0.1)
+        depth = bound.depth(n=n, m=m, d=d, k=4, eps=0.1)
+        print(f"  {name:<12} work ~ {work:.3g}   depth ~ {depth:.3g}   "
+              f"work/depth (max useful parallelism) ~ {work / depth:.1f}")
+
+    # -- 2. Simulated scaling of the real implementations -------------------
+    print(f"\nsimulated runtimes [ms] over {THREADS} threads:")
+    for ordering in ("DGR", "ADG"):
+        res = bron_kerbosch(graph, ordering, BitSet)
+        times = [
+            1000 * simulated_parallel_seconds(res, p, ordering=ordering)
+            for p in THREADS
+        ]
+        cells = "  ".join(f"{t:7.1f}" for t in times)
+        print(f"  BK-GMS-{ordering:<4} {cells}")
+        print(f"      speedup at 32 threads: {times[0] / times[-1]:.1f}x "
+              f"(reorder {1000 * res.reorder_seconds:.1f} ms, "
+              f"{res.ordering_rounds} rounds)")
+
+    print(
+        "\nreading: DGR's sequential reordering caps its scaling exactly as "
+        "the depth bounds predict;\nADG keeps the preprocessing off the "
+        "critical path (O(log^2 n) rounds), so its curve keeps falling."
+    )
+
+
+if __name__ == "__main__":
+    main()

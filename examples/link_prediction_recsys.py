@@ -1,0 +1,48 @@
+"""Link prediction on a recommendation network (paper section 6.7).
+
+Runs the paper's full protocol on the MovieRec stand-in: remove 10% of
+the co-rating links, score the candidate pairs with each of the seven
+vertex-similarity measures, and rank the schemes by the paper's
+effectiveness metric ``eff = |E_predict ∩ E_rndm|`` — contrasting against
+the random-guess baseline.  Also demonstrates the merge-vs-galloping
+intersection choice (section 6.5).
+
+Run:  python examples/link_prediction_recsys.py
+"""
+
+import time
+
+from repro.graph import load_dataset
+from repro.learning import SIMILARITY_MEASURES, evaluate_scheme, similarity_all_pairs
+
+
+def main() -> None:
+    graph = load_dataset("movierec-mini")
+    print(f"recommendation graph: {graph}")
+    non_edges = graph.num_nodes * (graph.num_nodes - 1) / 2 - graph.num_edges
+
+    print(f"\n{'measure':<24}{'eff':>8}{'lift over random':>18}")
+    print("-" * 50)
+    results = []
+    for measure in sorted(SIMILARITY_MEASURES):
+        res = evaluate_scheme(graph, measure, fraction=0.1, seed=42)
+        random_rate = res.removed / non_edges
+        lift = res.effectiveness / random_rate if random_rate else 0.0
+        results.append((res.effectiveness, measure, lift))
+        print(f"{measure:<24}{res.effectiveness:>8.3f}{lift:>15.0f}x")
+
+    best = max(results)
+    print(f"\nbest scheme: {best[1]} "
+          f"(eff {best[0]:.3f}, {best[2]:.0f}x better than random)")
+
+    # The 5+ modularity hook: same measure, different intersection kernel.
+    for algorithm in ("merge", "galloping"):
+        t0 = time.perf_counter()
+        pairs = similarity_all_pairs(graph, "jaccard", algorithm)
+        dt = time.perf_counter() - t0
+        print(f"jaccard all-pairs with {algorithm:<10} kernel: "
+              f"{len(pairs)} pairs in {1000 * dt:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

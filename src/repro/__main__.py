@@ -1,0 +1,128 @@
+"""Command-line entry point: ``python -m repro <command> ...``.
+
+The C++ GMS platform ships one benchmark binary per algorithm; this module
+is the Python equivalent — a single driver exposing the toolchain stages
+(load → representation → preprocess → kernel → metrics) over the dataset
+registry, the set-class registry, and the ordering registry.
+
+Commands
+--------
+``datasets``            list the Table 7 stand-in registry
+``stats <dataset>``     print the Table 7 row of one dataset
+``bk <dataset>``        maximal clique listing (variant/set/ordering flags)
+``kclique <dataset>``   k-clique counting
+``similarity <dataset>``link-prediction effectiveness of every measure
+``color <dataset>``     graph coloring (JP priorities / Johansson)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.registry import SET_CLASSES, get_set_class
+from .graph import DATASETS, load_dataset, summarize
+from .learning import SIMILARITY_MEASURES, evaluate_scheme
+from .mining import BK_VARIANTS, kclique_count, run_bk_variant
+from .optimization import johansson, jones_plassmann, verify_coloring
+from .platform import simulated_parallel_seconds
+from .preprocess.ordering import ORDERINGS
+from .runtime import algorithmic_throughput
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GraphMineSuite reproduction driver"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset registry")
+
+    p = sub.add_parser("stats", help="Table 7 row of one dataset")
+    p.add_argument("dataset")
+
+    p = sub.add_parser("bk", help="maximal clique listing")
+    p.add_argument("dataset")
+    p.add_argument("--variant", default="BK-GMS-ADG", choices=BK_VARIANTS)
+    p.add_argument("--set-class", default="bitset",
+                   choices=sorted(SET_CLASSES))
+    p.add_argument("--threads", type=int, default=16)
+
+    p = sub.add_parser("kclique", help="k-clique counting")
+    p.add_argument("dataset")
+    p.add_argument("-k", type=int, default=4)
+    p.add_argument("--ordering", default="ADG", choices=sorted(ORDERINGS))
+    p.add_argument("--parallel", default="edge", choices=["node", "edge"])
+
+    p = sub.add_parser("similarity", help="link-prediction effectiveness")
+    p.add_argument("dataset")
+    p.add_argument("--fraction", type=float, default=0.1)
+
+    p = sub.add_parser("color", help="graph coloring")
+    p.add_argument("dataset")
+    p.add_argument("--method", default="JP-SL",
+                   choices=["JP-random", "JP-FF", "JP-LF", "JP-SL",
+                            "Johansson"])
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "datasets":
+        try:
+            for name, spec in sorted(DATASETS.items()):
+                print(f"{name:<22} [{spec.category}]  mirrors {spec.mirrors}: "
+                      f"{spec.why}")
+        except BrokenPipeError:  # e.g. `... | head`
+            pass
+        return 0
+
+    graph = load_dataset(args.dataset)
+
+    if args.command == "stats":
+        print(summarize(graph, args.dataset).row())
+        return 0
+
+    if args.command == "bk":
+        res = run_bk_variant(graph, args.variant,
+                             set_cls=get_set_class(args.set_class))
+        par = simulated_parallel_seconds(res, args.threads)
+        print(f"{res.variant}: {res.num_cliques} maximal cliques "
+              f"(max size {res.max_clique_size})")
+        print(f"  sequential {1000 * res.total_seconds:.1f} ms "
+              f"({1000 * res.reorder_seconds:.2f} ms reorder), "
+              f"simulated {args.threads}-thread {1000 * par:.2f} ms")
+        print(f"  throughput {algorithmic_throughput(res.num_cliques, par):,.0f} cliques/s")
+        return 0
+
+    if args.command == "kclique":
+        res = kclique_count(graph, args.k, args.ordering, args.parallel)
+        print(f"{res.variant}: {res.count} {args.k}-cliques in "
+              f"{1000 * res.total_seconds:.1f} ms "
+              f"({res.throughput():,.0f}/s)")
+        return 0
+
+    if args.command == "similarity":
+        for measure in sorted(SIMILARITY_MEASURES):
+            res = evaluate_scheme(graph, measure, fraction=args.fraction)
+            print(f"{measure:<24} eff {res.effectiveness:.3f} "
+                  f"({res.predicted_correct}/{res.removed})")
+        return 0
+
+    if args.command == "color":
+        if args.method == "Johansson":
+            res = johansson(graph)
+        else:
+            res = jones_plassmann(graph, args.method.split("-")[1])
+        ok = verify_coloring(graph, res.colors)
+        print(f"{res.method}: {res.num_colors} colors in {res.rounds} "
+              f"rounds (proper: {ok})")
+        return 0 if ok else 1
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

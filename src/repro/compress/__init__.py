@@ -1,0 +1,40 @@
+"""Graph compression schemes (paper section 6.8, Figure 3, appendix B)."""
+
+from .bitpack import bits_needed, pack_bits, unpack_bits
+from .gap import gap_decode, gap_encode
+from .k2tree import K2Tree
+from .loggraph import LogGraph
+from .offsets import CompactOffsets, SelectBitvector
+from .relabel import bfs_relabel, degree_minimizing_relabel, shingle_relabel
+from .rle import (
+    ReferenceEncodedNeighborhood,
+    reference_decode,
+    reference_encode,
+    rle_decode,
+    rle_encode,
+)
+from .varint import decode_array, decode_varint, encode_array, encode_varint
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_array",
+    "decode_array",
+    "gap_encode",
+    "gap_decode",
+    "pack_bits",
+    "unpack_bits",
+    "bits_needed",
+    "SelectBitvector",
+    "CompactOffsets",
+    "LogGraph",
+    "K2Tree",
+    "rle_encode",
+    "rle_decode",
+    "ReferenceEncodedNeighborhood",
+    "reference_encode",
+    "reference_decode",
+    "degree_minimizing_relabel",
+    "bfs_relabel",
+    "shingle_relabel",
+]

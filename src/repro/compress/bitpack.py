@@ -1,0 +1,41 @@
+"""Fixed-width bit packing of fine-grained elements (Log(Graph), section 6.8).
+
+Log(Graph)'s core idea: a vertex ID needs only ``⌈log₂ n⌉`` bits, not a
+64-bit word, so adjacency arrays shrink by "removing the leading bits"
+(Figure 10) — 20–35% space reduction with trivial decompression, sometimes
+a net *speedup* from reduced memory traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_bits", "unpack_bits", "bits_needed"]
+
+
+def bits_needed(max_value: int) -> int:
+    """Bits per element to store values in ``[0, max_value]``."""
+    return max(int(max_value).bit_length(), 1)
+
+
+def pack_bits(values: np.ndarray, width: int) -> bytes:
+    """Pack each value into *width* bits, little-endian bit order."""
+    arr = np.asarray(values, dtype=np.int64)
+    if len(arr) and (arr.min() < 0 or int(arr.max()).bit_length() > width):
+        raise ValueError(f"values do not fit in {width} bits")
+    total_bits = width * len(arr)
+    bits = np.zeros(total_bits, dtype=np.uint8)
+    for b in range(width):
+        bits[b::width] = (arr >> b) & 1
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, width: int, count: int) -> np.ndarray:
+    """Invert :func:`pack_bits` for *count* elements."""
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    if len(bits) < width * count:
+        raise ValueError("buffer too small for requested elements")
+    out = np.zeros(count, dtype=np.int64)
+    for b in range(width):
+        out |= bits[b : width * count : width].astype(np.int64) << b
+    return out

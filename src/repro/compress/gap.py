@@ -1,0 +1,33 @@
+"""Gap (difference) encoding of sorted adjacency data (Figure 3 / appendix B).
+
+A sorted neighborhood ``[3, 7, 8, 21]`` becomes ``[3, 4, 1, 13]`` — the
+first element plus successive differences.  Gaps are small when neighbor
+IDs are close, which vertex relabelings actively optimize for; combined
+with varint this is the workhorse web-graph compression scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gap_encode", "gap_decode"]
+
+
+def gap_encode(sorted_values: np.ndarray) -> np.ndarray:
+    """Differences of a sorted array (first element kept verbatim)."""
+    arr = np.asarray(sorted_values, dtype=np.int64)
+    if len(arr) == 0:
+        return arr.copy()
+    if np.any(np.diff(arr) < 0):
+        raise ValueError("gap encoding requires sorted input")
+    out = arr.copy()
+    out[1:] = np.diff(arr)
+    return out
+
+
+def gap_decode(gaps: np.ndarray) -> np.ndarray:
+    """Invert :func:`gap_encode`."""
+    arr = np.asarray(gaps, dtype=np.int64)
+    if len(arr) == 0:
+        return arr.copy()
+    return np.cumsum(arr)

@@ -1,0 +1,103 @@
+"""k²-tree adjacency-matrix compression (paper Figure 3 / appendix B).
+
+The k²-tree recursively partitions the (padded) n×n adjacency matrix into
+``k × k`` submatrices; a node stores one bit per submatrix — ``1`` if it
+contains any edge — and only non-empty submatrices are expanded at the
+next level.  Sparse, clustered matrices compress extremely well, and
+single-edge queries cost one root-to-leaf walk (O(log_k n)).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["K2Tree"]
+
+
+class K2Tree:
+    """A k²-tree over a graph's adjacency matrix."""
+
+    def __init__(self, graph: CSRGraph, k: int = 2):
+        if k < 2:
+            raise ValueError("k must be >= 2")
+        self.k = k
+        n = max(graph.num_nodes, 1)
+        size = 1
+        while size < n:
+            size *= k
+        self._size = size
+        self._n = graph.num_nodes
+        self._directed = graph.directed
+        edges = set()
+        for u in graph.vertices():
+            for v in graph.out_neigh(u).tolist():
+                edges.add((u, v))
+        # Build levels breadth-first: each level is a bit array; children
+        # of the i-th set bit occupy slot rank1(i) at the next level.
+        self._levels: List[np.ndarray] = []
+        cells = [(0, 0, size, tuple(sorted(edges)))]
+        while cells and cells[0][2] > 1:
+            bits = []
+            next_cells = []
+            sub = cells[0][2] // self.k
+            for (r0, c0, size_, cell_edges) in cells:
+                buckets = {}
+                for (r, c) in cell_edges:
+                    br = (r - r0) // sub
+                    bc = (c - c0) // sub
+                    buckets.setdefault((br, bc), []).append((r, c))
+                for br in range(self.k):
+                    for bc in range(self.k):
+                        child = buckets.get((br, bc))
+                        bits.append(1 if child else 0)
+                        if child and sub >= 1:
+                            next_cells.append(
+                                (
+                                    r0 + br * sub,
+                                    c0 + bc * sub,
+                                    sub,
+                                    tuple(child),
+                                )
+                            )
+            self._levels.append(np.asarray(bits, dtype=np.uint8))
+            if sub == 1:
+                # next_cells are single cells; leaves already encoded.
+                cells = []
+            else:
+                cells = next_cells
+        # Precompute child offsets (rank prefix sums) per level.
+        self._ranks = [np.concatenate(([0], np.cumsum(lvl))) for lvl in self._levels]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Root-to-leaf walk: O(log_k n) bit probes."""
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        size = self._size
+        node = 0  # index of the current cell's first child bit / k^2
+        r, c = u, v
+        for depth, level in enumerate(self._levels):
+            sub = size // self.k
+            child = (r // sub) * self.k + (c // sub)
+            bit_index = node * self.k * self.k + child
+            if not level[bit_index]:
+                return False
+            if depth + 1 == len(self._levels):
+                return True
+            node = int(self._ranks[depth][bit_index + 1] - 1)
+            r %= sub
+            c %= sub
+            size = sub
+        return True
+
+    def out_neigh(self, u: int) -> np.ndarray:
+        """Recover row *u* (used by the round-trip tests)."""
+        found = [v for v in range(self._n) if self.has_edge(u, v)]
+        return np.asarray(found, dtype=np.int64)
+
+    def storage_bits(self) -> int:
+        """Total bits across all levels (plus rank samples ignored)."""
+        return int(sum(len(lvl) for lvl in self._levels))

@@ -1,0 +1,144 @@
+"""Log(Graph) compressed graph representation (paper section 6.8).
+
+Log(Graph) compresses each CSR component toward its logarithmic storage
+lower bound while keeping O(1)-ish accesses:
+
+* the **adjacency data** is bit-packed at ``⌈log₂ n⌉`` bits per vertex ID
+  (optionally gap+varint encoded per neighborhood instead);
+* the **offsets** are stored in a compact select-capable bitvector.
+
+The class implements the standard graph-access interface (degree,
+neighbors, has_edge), so it can be dropped into any pipeline stage ``1``
+slot: mining algorithms run unchanged on top of it — the whole point of
+the representation modularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .bitpack import bits_needed, pack_bits, unpack_bits
+from .gap import gap_decode, gap_encode
+from .offsets import CompactOffsets
+from .varint import decode_array, encode_array
+
+__all__ = ["LogGraph"]
+
+
+class LogGraph:
+    """A Log(Graph)-compressed immutable graph.
+
+    Parameters
+    ----------
+    graph:
+        Source CSR graph.
+    adjacency_encoding:
+        ``"bitpack"`` — fixed ``⌈log₂ n⌉``-bit IDs (O(1) random access);
+        ``"varint-gap"`` — per-neighborhood gap encoding + varint bytes
+        (smaller, sequential decode per neighborhood).
+    """
+
+    def __init__(self, graph: CSRGraph, adjacency_encoding: str = "bitpack"):
+        if adjacency_encoding not in ("bitpack", "varint-gap"):
+            raise ValueError("encoding must be 'bitpack' or 'varint-gap'")
+        self._n = graph.num_nodes
+        self._m = graph.num_edges
+        self._directed = graph.directed
+        self._encoding = adjacency_encoding
+        self._offsets = CompactOffsets(graph.offsets)
+        self._width = bits_needed(max(self._n - 1, 1))
+        if adjacency_encoding == "bitpack":
+            self._adjacency = pack_bits(graph.adjacency, self._width)
+            self._degrees = None
+        else:
+            # Per-neighborhood gap+varint blobs, with a byte-offset array.
+            blobs = []
+            byte_offsets = [0]
+            for v in graph.vertices():
+                blob = encode_array(gap_encode(graph.out_neigh(v)))
+                blobs.append(blob)
+                byte_offsets.append(byte_offsets[-1] + len(blob))
+            self._adjacency = b"".join(blobs)
+            self._byte_offsets = np.asarray(byte_offsets, dtype=np.int64)
+            self._degrees = np.diff(graph.offsets)
+
+    # -- graph-access interface (stage 2) --------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    @property
+    def directed(self) -> bool:
+        return self._directed
+
+    def out_degree(self, v: int) -> int:
+        if self._encoding == "bitpack":
+            return self._offsets.degree(v)
+        return int(self._degrees[v])
+
+    def out_neigh(self, v: int) -> np.ndarray:
+        """Decode and return ``N(v)`` as a sorted array."""
+        if self._encoding == "bitpack":
+            start = self._offsets.offset(v)
+            deg = self._offsets.degree(v)
+            if deg == 0:
+                return np.empty(0, dtype=np.int64)
+            # Slice the packed buffer around the needed bit range.
+            bit_lo = start * self._width
+            bit_hi = (start + deg) * self._width
+            byte_lo, byte_hi = bit_lo // 8, (bit_hi + 7) // 8
+            chunk = self._adjacency[byte_lo:byte_hi]
+            bits = np.unpackbits(
+                np.frombuffer(chunk, dtype=np.uint8), bitorder="little"
+            )
+            local = bits[bit_lo - 8 * byte_lo : bit_lo - 8 * byte_lo
+                         + deg * self._width]
+            out = np.zeros(deg, dtype=np.int64)
+            for b in range(self._width):
+                out |= local[b :: self._width].astype(np.int64) << b
+            return out
+        blob = self._adjacency[
+            self._byte_offsets[v] : self._byte_offsets[v + 1]
+        ]
+        deg = self.out_degree(v)
+        if deg == 0:
+            return np.empty(0, dtype=np.int64)
+        return gap_decode(decode_array(blob, deg))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        neigh = self.out_neigh(u)
+        idx = int(np.searchsorted(neigh, v))
+        return idx < len(neigh) and neigh[idx] == v
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def neighborhood_set(self, v: int, set_cls):
+        """Materialize ``N(v)`` as a set (same bridge as CSR)."""
+        return set_cls.from_sorted_array(self.out_neigh(v))
+
+    # -- storage accounting ------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Compressed size: adjacency payload + offset structure."""
+        total = len(self._adjacency) + self._offsets.storage_bits() // 8 + 1
+        if self._encoding == "varint-gap":
+            total += self._byte_offsets.nbytes + self._degrees.nbytes
+        return total
+
+    def to_csr(self) -> CSRGraph:
+        """Decompress back to CSR (round-trip check / interop)."""
+        offsets = np.zeros(self._n + 1, dtype=np.int64)
+        chunks = []
+        for v in range(self._n):
+            neigh = self.out_neigh(v)
+            chunks.append(neigh)
+            offsets[v + 1] = offsets[v] + len(neigh)
+        adjacency = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        )
+        return CSRGraph(offsets, adjacency, directed=self._directed)

@@ -1,0 +1,87 @@
+"""Succinct and compact offset structures (Log(Graph), Figure 10).
+
+CSR's offset array costs ``n`` words.  Log(Graph) replaces it with a *bit
+vector* of length ``2m`` in which the ``i``-th set bit marks where vertex
+``i``'s neighborhood starts; a rank/select index then answers
+``offset(v)`` queries near the information-theoretic lower bound.
+
+This module provides that select-capable bitvector with the standard
+block-based index: O(1)-ish select with o(n) extra space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SelectBitvector", "CompactOffsets"]
+
+
+class SelectBitvector:
+    """Bitvector with rank/select support via sampled block counts."""
+
+    def __init__(self, bits: np.ndarray, sample_rate: int = 64):
+        self._bits = np.asarray(bits, dtype=np.uint8)
+        self._sample_rate = sample_rate
+        positions = np.nonzero(self._bits)[0]
+        self._positions_of_ones = positions  # exact select table (compact)
+        # Rank samples: number of ones before each block.
+        self._rank_samples = np.concatenate(
+            ([0], np.cumsum(self._bits)[sample_rate - 1 :: sample_rate])
+        ).astype(np.int64)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def rank1(self, pos: int) -> int:
+        """Number of set bits strictly before *pos*."""
+        if pos <= 0:
+            return 0
+        pos = min(pos, len(self._bits))
+        block = pos // self._sample_rate
+        base = int(self._rank_samples[block]) if block < len(self._rank_samples) else int(self._bits.sum())
+        start = block * self._sample_rate
+        return base + int(self._bits[start:pos].sum())
+
+    def select1(self, k: int) -> int:
+        """Position of the k-th (0-based) set bit."""
+        return int(self._positions_of_ones[k])
+
+    def storage_bits(self) -> int:
+        """Bitvector plus index size in bits."""
+        return len(self._bits) + 64 * len(self._rank_samples)
+
+
+class CompactOffsets:
+    """Offset structure over a concatenated adjacency array.
+
+    Encodes the CSR offsets of a graph with ``n`` vertices and ``k`` stored
+    arcs as a length-``k + n`` bitvector: writing, for each vertex in
+    order, a ``1`` followed by ``degree`` zeros.  ``offset(v)`` =
+    ``select1(v) - v``; storage ≈ ``k + n`` bits versus ``64(n+1)`` for the
+    plain array.
+    """
+
+    def __init__(self, offsets: np.ndarray):
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = len(offsets) - 1
+        k = int(offsets[-1])
+        bits = np.zeros(n + k, dtype=np.uint8)
+        bits[offsets[:-1] + np.arange(n)] = 1
+        self._n = n
+        self._k = k
+        self._bv = SelectBitvector(bits)
+
+    def offset(self, v: int) -> int:
+        """Start of vertex *v*'s neighborhood in the adjacency array."""
+        if not 0 <= v < self._n:
+            raise IndexError(f"vertex {v} out of range")
+        return self._bv.select1(v) - v
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex *v* (distance to the next marker)."""
+        start = self.offset(v)
+        end = self._k if v + 1 == self._n else self.offset(v + 1)
+        return end - start
+
+    def storage_bits(self) -> int:
+        return self._bv.storage_bits()

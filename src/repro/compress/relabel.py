@@ -1,0 +1,71 @@
+"""Vertex relabelings (permutations) for compression (Figure 3 / appendix B).
+
+Relabelings permute vertex IDs so that subsequent transformations (gap +
+varint, RLE, bit packing) compress better:
+
+* **degree-minimizing** — IDs by descending degree, so the highest-degree
+  vertices (which appear most often in adjacency data) get the *smallest*
+  IDs and hence the fewest varint bytes (the "Huffman degree" idea);
+* **BFS relabeling** — IDs in BFS order, giving neighbors nearby IDs and
+  hence small gaps;
+* **shingle-like relabeling** — groups vertices with similar neighborhoods
+  (here: by sorted first-neighbors) to help reference encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["degree_minimizing_relabel", "bfs_relabel", "shingle_relabel"]
+
+
+def degree_minimizing_relabel(graph: CSRGraph) -> np.ndarray:
+    """Permutation: new ID of v = rank of v by descending degree."""
+    degrees = graph.degrees()
+    order = np.lexsort((np.arange(graph.num_nodes), -degrees))
+    perm = np.empty(graph.num_nodes, dtype=np.int64)
+    perm[order] = np.arange(graph.num_nodes)
+    return perm
+
+
+def bfs_relabel(graph: CSRGraph, source: int = 0) -> np.ndarray:
+    """Permutation assigning IDs in BFS visiting order (all components)."""
+    n = graph.num_nodes
+    perm = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for start in list(range(n)):
+        if n == 0:
+            break
+        s = source if next_id == 0 else start
+        if perm[s] >= 0:
+            continue
+        queue = [s]
+        perm[s] = next_id
+        next_id += 1
+        while queue:
+            u = queue.pop(0)
+            for v in graph.out_neigh(u).tolist():
+                if perm[v] < 0:
+                    perm[v] = next_id
+                    next_id += 1
+                    queue.append(v)
+    return perm
+
+
+def shingle_relabel(graph: CSRGraph) -> np.ndarray:
+    """Permutation clustering vertices by their smallest neighbor (shingle).
+
+    Vertices sharing their minimum neighbor ID tend to have overlapping
+    neighborhoods (co-citation), which reference encoding exploits.
+    """
+    n = graph.num_nodes
+    shingles = np.empty(n, dtype=np.int64)
+    for v in range(n):
+        neigh = graph.out_neigh(v)
+        shingles[v] = int(neigh[0]) if len(neigh) else n
+    order = np.lexsort((np.arange(n), shingles))
+    perm = np.empty(n, dtype=np.int64)
+    perm[order] = np.arange(n)
+    return perm

@@ -1,0 +1,84 @@
+"""Run-length and reference encodings of adjacency data (Figure 3 / app. B).
+
+* **Run-length encoding (RLE)** — consecutive-ID runs in a sorted
+  neighborhood collapse to ``(start, length)`` pairs; effective after
+  locality-improving relabelings.
+* **Reference encoding** — a neighborhood that closely resembles another
+  one (common in web graphs: "almost identical neighborhoods", Figure 10)
+  stores a reference to that list plus a small add/remove patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["rle_encode", "rle_decode", "ReferenceEncodedNeighborhood",
+           "reference_encode", "reference_decode"]
+
+
+def rle_encode(sorted_values: np.ndarray) -> List[Tuple[int, int]]:
+    """Encode a sorted unique array as ``(start, run_length)`` pairs."""
+    arr = np.asarray(sorted_values, dtype=np.int64)
+    if len(arr) == 0:
+        return []
+    breaks = np.nonzero(np.diff(arr) != 1)[0] + 1
+    starts = np.concatenate(([0], breaks))
+    ends = np.concatenate((breaks, [len(arr)]))
+    return [(int(arr[s]), int(e - s)) for s, e in zip(starts, ends)]
+
+
+def rle_decode(runs: List[Tuple[int, int]]) -> np.ndarray:
+    """Invert :func:`rle_encode`."""
+    if not runs:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [np.arange(s, s + l, dtype=np.int64) for s, l in runs]
+    )
+
+
+@dataclass
+class ReferenceEncodedNeighborhood:
+    """``N(v)`` stored as a patch against a reference neighborhood."""
+
+    reference_vertex: Optional[int]  # None → stored verbatim
+    additions: np.ndarray  # elements not in the reference
+    removals: np.ndarray  # reference elements not in N(v)
+
+
+def reference_encode(
+    neighborhood: np.ndarray,
+    reference: np.ndarray,
+    reference_vertex: int,
+    max_patch_fraction: float = 0.5,
+) -> ReferenceEncodedNeighborhood:
+    """Encode against *reference* when the patch is small enough.
+
+    Falls back to verbatim storage (``reference_vertex=None``) when the
+    add+remove patch would exceed ``max_patch_fraction`` of the plain size.
+    """
+    neigh = np.asarray(neighborhood, dtype=np.int64)
+    ref = np.asarray(reference, dtype=np.int64)
+    additions = np.setdiff1d(neigh, ref, assume_unique=True)
+    removals = np.setdiff1d(ref, neigh, assume_unique=True)
+    if len(additions) + len(removals) <= max_patch_fraction * max(len(neigh), 1):
+        return ReferenceEncodedNeighborhood(reference_vertex, additions, removals)
+    return ReferenceEncodedNeighborhood(
+        None, neigh.copy(), np.empty(0, dtype=np.int64)
+    )
+
+
+def reference_decode(
+    encoded: ReferenceEncodedNeighborhood, reference: Optional[np.ndarray]
+) -> np.ndarray:
+    """Invert :func:`reference_encode` given the reference's plain data."""
+    if encoded.reference_vertex is None:
+        return encoded.additions.copy()
+    if reference is None:
+        raise ValueError("reference data required for referenced encoding")
+    base = np.setdiff1d(
+        np.asarray(reference, dtype=np.int64), encoded.removals, assume_unique=True
+    )
+    return np.union1d(base, encoded.additions)

@@ -1,0 +1,64 @@
+"""Varint (variable-length integer) encoding (paper Figure 3 / appendix B).
+
+The classic 7-bit-per-byte encoding: each byte carries 7 payload bits and a
+continuation flag ("1 says there is a next part, 0 says it is the last
+part" — Figure 10).  Used to compress adjacency data, usually after gap
+encoding and a relabeling that shrinks the gaps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["encode_varint", "decode_varint", "encode_array", "decode_array"]
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode one non-negative integer."""
+    if value < 0:
+        raise ValueError("varint encodes non-negative integers only")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one integer; return ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+def encode_array(values: np.ndarray | List[int]) -> bytes:
+    """Encode a sequence of non-negative integers back to back."""
+    out = bytearray()
+    for v in np.asarray(values, dtype=np.int64).tolist():
+        out.extend(encode_varint(int(v)))
+    return bytes(out)
+
+
+def decode_array(data: bytes, count: int) -> np.ndarray:
+    """Decode *count* integers from *data*."""
+    out = np.empty(count, dtype=np.int64)
+    offset = 0
+    for i in range(count):
+        out[i], offset = decode_varint(data, offset)
+    if offset != len(data):
+        raise ValueError(f"trailing bytes after {count} varints")
+    return out

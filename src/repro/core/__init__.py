@@ -1,0 +1,46 @@
+"""Set-algebra core of the GMS platform (paper section 5).
+
+Exports the abstract :class:`~repro.core.interface.SetBase` interface, the
+four concrete set representations, the merge/galloping kernels, the
+set-class registry, and the software performance counters.
+"""
+
+from .bit_set import BitSet
+from .compressed_set import CompressedSortedSet
+from .counters import COUNTERS, Snapshot, reset, snapshot
+from .hash_set import HashSet
+from .interface import SetBase
+from .ops import (
+    diff_merge,
+    intersect_count_galloping,
+    intersect_count_merge,
+    intersect_galloping,
+    intersect_merge,
+    union_merge,
+)
+from .registry import SET_CLASSES, get_set_class, register_set_class
+from .roaring import ARRAY_CONTAINER_MAX, RoaringSet
+from .sorted_set import SortedSet
+
+__all__ = [
+    "SetBase",
+    "SortedSet",
+    "BitSet",
+    "RoaringSet",
+    "HashSet",
+    "CompressedSortedSet",
+    "ARRAY_CONTAINER_MAX",
+    "SET_CLASSES",
+    "get_set_class",
+    "register_set_class",
+    "COUNTERS",
+    "Snapshot",
+    "snapshot",
+    "reset",
+    "intersect_merge",
+    "intersect_galloping",
+    "intersect_count_merge",
+    "intersect_count_galloping",
+    "union_merge",
+    "diff_merge",
+]

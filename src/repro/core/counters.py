@@ -1,0 +1,107 @@
+"""Software performance counters for the set-algebra layer.
+
+GMS integrates with PAPI to read hardware counters (paper, Listing 4 and
+section 4.3).  A pure-Python reproduction has no portable access to hardware
+counters, so the set-algebra layer maintains *software* counters instead:
+every set operation records how many elements it touched (a proxy for memory
+words read) and how many it produced (a proxy for words written).  The
+:mod:`repro.runtime.papi` facade converts these counters into the
+PAPI-flavoured quantities used by the paper's machine-efficiency analysis
+(section 8.8), e.g. simulated stalled CPU cycles.
+
+The counters are global on purpose: they mirror how PAPI instruments a whole
+parallel region rather than a single data structure.  Use
+:func:`snapshot` / :func:`Snapshot.delta` to meter a region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Counters:
+    """Mutable global counter block.
+
+    Attributes
+    ----------
+    set_ops:
+        Number of bulk set operations (intersections, unions, differences).
+    point_ops:
+        Number of fine-grained operations (``contains``, ``add``, ``remove``).
+    elements_read:
+        Elements touched as operation inputs — the memory-read proxy.
+    elements_written:
+        Elements materialized as operation outputs — the memory-write proxy.
+    """
+
+    __slots__ = ("set_ops", "point_ops", "elements_read", "elements_written")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.set_ops = 0
+        self.point_ops = 0
+        self.elements_read = 0
+        self.elements_written = 0
+
+    # The two record methods are deliberately tiny: they sit on the hot path
+    # of every set operation.
+    def record_bulk(self, read: int, written: int) -> None:
+        """Record one bulk set operation touching *read* inputs."""
+        self.set_ops += 1
+        self.elements_read += read
+        self.elements_written += written
+
+    def record_point(self, read: int = 1) -> None:
+        """Record one point operation (membership test, add, remove)."""
+        self.point_ops += 1
+        self.elements_read += read
+
+    @property
+    def memory_traffic(self) -> int:
+        """Total element traffic — the quantity the stall model consumes."""
+        return self.elements_read + self.elements_written
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Immutable copy of the counter block at one instant."""
+
+    set_ops: int
+    point_ops: int
+    elements_read: int
+    elements_written: int
+
+    def delta(self, later: "Snapshot") -> "Snapshot":
+        """Return the counter increments between ``self`` and *later*."""
+        return Snapshot(
+            set_ops=later.set_ops - self.set_ops,
+            point_ops=later.point_ops - self.point_ops,
+            elements_read=later.elements_read - self.elements_read,
+            elements_written=later.elements_written - self.elements_written,
+        )
+
+    @property
+    def memory_traffic(self) -> int:
+        return self.elements_read + self.elements_written
+
+
+#: The process-wide counter block used by every set implementation.
+COUNTERS = Counters()
+
+
+def snapshot() -> Snapshot:
+    """Capture the current global counter values."""
+    return Snapshot(
+        set_ops=COUNTERS.set_ops,
+        point_ops=COUNTERS.point_ops,
+        elements_read=COUNTERS.elements_read,
+        elements_written=COUNTERS.elements_written,
+    )
+
+
+def reset() -> None:
+    """Zero the global counters (start of a measured region)."""
+    COUNTERS.reset()

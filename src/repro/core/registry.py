@@ -1,0 +1,43 @@
+"""Name → set-class registry (the ``5+`` modularity hook).
+
+Benchmarks and the CLI select set representations by name, exactly like the
+C++ platform selects them via template parameters.  User-defined set classes
+can be registered with :func:`register_set_class`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from .bit_set import BitSet
+from .compressed_set import CompressedSortedSet
+from .hash_set import HashSet
+from .interface import SetBase
+from .roaring import RoaringSet
+from .sorted_set import SortedSet
+
+__all__ = ["SET_CLASSES", "get_set_class", "register_set_class"]
+
+SET_CLASSES: Dict[str, Type[SetBase]] = {
+    "sorted": SortedSet,
+    "bitset": BitSet,
+    "roaring": RoaringSet,
+    "hash": HashSet,
+    "compressed": CompressedSortedSet,
+}
+
+
+def get_set_class(name: str) -> Type[SetBase]:
+    """Look up a set representation by its registry name."""
+    try:
+        return SET_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(SET_CLASSES))
+        raise KeyError(f"unknown set class {name!r}; known: {known}") from None
+
+
+def register_set_class(name: str, cls: Type[SetBase]) -> None:
+    """Register a user-provided set representation under *name*."""
+    if not (isinstance(cls, type) and issubclass(cls, SetBase)):
+        raise TypeError("set classes must subclass SetBase")
+    SET_CLASSES[name] = cls

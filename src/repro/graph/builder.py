@@ -1,0 +1,98 @@
+"""Graph construction: edge-list cleaning and CSR building (pipeline stage 1).
+
+The GMS toolchain's first stages load an edge list and build a graph
+representation.  This module performs the canonical cleaning — self-loop
+removal, duplicate removal, optional symmetrization — entirely with
+vectorized numpy passes, then emits a :class:`~repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["build_undirected", "build_directed", "edges_to_array", "from_networkx"]
+
+
+def edges_to_array(edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    """Convert an iterable of ``(u, v)`` pairs to a ``(k, 2)`` int64 array."""
+    if isinstance(edges, np.ndarray):
+        arr = np.asarray(edges, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError("edge array must have shape (k, 2)")
+        return arr
+    pairs = list(edges)
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def build_undirected(
+    num_nodes: int, edges: Iterable[Tuple[int, int]] | np.ndarray
+) -> CSRGraph:
+    """Build an undirected CSR graph from an edge list.
+
+    Self-loops and duplicate edges (in either direction) are dropped, and
+    every surviving edge is stored in both directions, matching the GMS
+    loader semantics.
+    """
+    arr = edges_to_array(edges)
+    _check_bounds(arr, num_nodes)
+    arr = arr[arr[:, 0] != arr[:, 1]]  # drop self-loops
+    if len(arr):
+        both = np.concatenate([arr, arr[:, ::-1]])
+    else:
+        both = arr
+    return _csr_from_arcs(num_nodes, both, directed=False)
+
+
+def build_directed(
+    num_nodes: int, arcs: Iterable[Tuple[int, int]] | np.ndarray
+) -> CSRGraph:
+    """Build a directed CSR graph; duplicate arcs and self-loops dropped."""
+    arr = edges_to_array(arcs)
+    _check_bounds(arr, num_nodes)
+    arr = arr[arr[:, 0] != arr[:, 1]]
+    return _csr_from_arcs(num_nodes, arr, directed=True)
+
+
+def from_networkx(graph) -> CSRGraph:
+    """Convert a networkx graph (nodes relabeled to ``0..n-1``)."""
+    import networkx as nx
+
+    mapping = {node: i for i, node in enumerate(graph.nodes())}
+    edges = [(mapping[u], mapping[v]) for u, v in graph.edges()]
+    if isinstance(graph, nx.DiGraph):
+        return build_directed(graph.number_of_nodes(), edges)
+    return build_undirected(graph.number_of_nodes(), edges)
+
+
+def _check_bounds(arr: np.ndarray, num_nodes: int) -> None:
+    if len(arr) == 0:
+        return
+    if arr.min() < 0 or arr.max() >= num_nodes:
+        raise ValueError(
+            f"edge endpoints must lie in [0, {num_nodes}); "
+            f"got range [{arr.min()}, {arr.max()}]"
+        )
+
+
+def _csr_from_arcs(num_nodes: int, arcs: np.ndarray, *, directed: bool) -> CSRGraph:
+    """Sort, deduplicate, and pack arcs into CSR arrays."""
+    if len(arcs) == 0:
+        return CSRGraph(
+            np.zeros(num_nodes + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            directed=directed,
+        )
+    keys = arcs[:, 0] * np.int64(num_nodes) + arcs[:, 1]
+    unique_keys = np.unique(keys)
+    sources = unique_keys // num_nodes
+    targets = unique_keys % num_nodes
+    counts = np.bincount(sources, minlength=num_nodes)
+    offsets = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return CSRGraph(offsets, targets.astype(np.int64), directed=directed)

@@ -1,0 +1,268 @@
+"""Classic "low-complexity" graph algorithms (paper Table 8, appendix B).
+
+The paper's representation study (Tables 8–9) derives the complexity of
+BFS, PageRank (pushing), Δ-stepping and Bellman–Ford SSSP, Borůvka MST,
+Boman et al. coloring, and Brandes betweenness centrality across storage
+models.  GMS itself scopes these problems *out* of the mining
+specification (§4.4) but needs them for the storage analysis, so this
+module provides reference implementations written against the minimal
+graph-access surface (``num_nodes``/``out_neigh``/``out_degree``) — they
+run on CSR, Log(Graph), or any Table 8 model exposing that surface via a
+thin adapter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "bfs_distances",
+    "bellman_ford",
+    "delta_stepping",
+    "pagerank",
+    "betweenness_centrality",
+    "boman_coloring",
+]
+
+
+def bfs_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Level-synchronous BFS; unreachable vertices get -1."""
+    n = graph.num_nodes
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        nxt = []
+        for u in frontier:
+            for v in graph.out_neigh(u).tolist():
+                if dist[v] < 0:
+                    dist[v] = level
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def _edge_weights(
+    graph: CSRGraph, weights: Optional[Dict[Tuple[int, int], float]]
+) -> Dict[Tuple[int, int], float]:
+    if weights is not None:
+        return weights
+    return {(u, v): 1.0 for u, v in graph.edges()}
+
+
+def _weight_of(weights, u: int, v: int) -> float:
+    return weights.get((u, v), weights.get((v, u), 1.0))
+
+
+def bellman_ford(
+    graph: CSRGraph,
+    source: int,
+    weights: Optional[Dict[Tuple[int, int], float]] = None,
+) -> np.ndarray:
+    """Bellman–Ford SSSP (Table 8's O(n·m) row); returns distances (inf =
+    unreachable)."""
+    w = _edge_weights(graph, weights)
+    n = graph.num_nodes
+    dist = np.full(n, math.inf)
+    dist[source] = 0.0
+    for _ in range(max(n - 1, 1)):
+        changed = False
+        for u in range(n):
+            du = dist[u]
+            if not math.isfinite(du):
+                continue
+            for v in graph.out_neigh(u).tolist():
+                nd = du + _weight_of(w, u, v)
+                if nd < dist[v] - 1e-15:
+                    dist[v] = nd
+                    changed = True
+        if not changed:
+            break
+    return dist
+
+
+def delta_stepping(
+    graph: CSRGraph,
+    source: int,
+    delta: float = 1.0,
+    weights: Optional[Dict[Tuple[int, int], float]] = None,
+) -> np.ndarray:
+    """Δ-stepping SSSP (Meyer–Sanders): bucketed label-correcting.
+
+    ``delta`` trades parallelism for work: Δ→0 degenerates to Dijkstra,
+    Δ→∞ to Bellman–Ford — the knob Table 8's complexity rows expose.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    w = _edge_weights(graph, weights)
+    n = graph.num_nodes
+    dist = np.full(n, math.inf)
+    dist[source] = 0.0
+    buckets: Dict[int, set] = {0: {source}}
+    current = 0
+    while buckets:
+        while current not in buckets:
+            current += 1
+            if current > max(buckets) :
+                break
+        if current not in buckets:
+            break
+        # Settle the current bucket: light-edge relaxations may re-insert.
+        settled = set()
+        while buckets.get(current):
+            frontier = buckets.pop(current)
+            settled |= frontier
+            for u in frontier:
+                du = dist[u]
+                for v in graph.out_neigh(u).tolist():
+                    wt = _weight_of(w, u, v)
+                    if wt > delta:
+                        continue  # heavy edges relaxed after settling
+                    nd = du + wt
+                    if nd < dist[v] - 1e-15:
+                        _move_bucket(buckets, dist, v, nd, delta)
+                        dist[v] = nd
+        for u in settled:
+            du = dist[u]
+            for v in graph.out_neigh(u).tolist():
+                wt = _weight_of(w, u, v)
+                if wt <= delta:
+                    continue
+                nd = du + wt
+                if nd < dist[v] - 1e-15:
+                    _move_bucket(buckets, dist, v, nd, delta)
+                    dist[v] = nd
+        current += 1
+    return dist
+
+
+def _move_bucket(buckets, dist, v: int, new_dist: float, delta: float) -> None:
+    if math.isfinite(dist[v]):
+        old = int(dist[v] / delta)
+        buckets.get(old, set()).discard(v)
+    buckets.setdefault(int(new_dist / delta), set()).add(v)
+
+
+def pagerank(
+    graph: CSRGraph,
+    damping: float = 0.85,
+    iterations: int = 50,
+    tolerance: float = 1e-10,
+    mode: str = "pull",
+) -> np.ndarray:
+    """PageRank in the pulling or pushing formulation (Table 8's row).
+
+    Both modes produce the same vector; they differ in their access
+    pattern (pull reads in-neighbors, push scatters to out-neighbors) —
+    the communication trade-off of the paper's earlier push-pull work.
+    """
+    if mode not in ("pull", "push"):
+        raise ValueError("mode must be 'pull' or 'push'")
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0)
+    ranks = np.full(n, 1.0 / n)
+    degrees = graph.degrees().astype(np.float64)
+    for _ in range(iterations):
+        if mode == "pull":
+            nxt = np.full(n, (1.0 - damping) / n)
+            for v in range(n):
+                neigh = graph.out_neigh(v)
+                if len(neigh):
+                    nxt[v] += damping * float(
+                        (ranks[neigh] / np.maximum(degrees[neigh], 1.0)).sum()
+                    )
+        else:
+            nxt = np.full(n, (1.0 - damping) / n)
+            for u in range(n):
+                if degrees[u] == 0:
+                    continue
+                share = damping * ranks[u] / degrees[u]
+                nxt[graph.out_neigh(u)] += share
+        # Dangling mass: redistribute uniformly so the vector stays
+        # stochastic (undirected graphs only have dangling isolated
+        # vertices).
+        dangling = damping * ranks[degrees == 0].sum()
+        nxt += dangling / n
+        if np.abs(nxt - ranks).sum() < tolerance:
+            ranks = nxt
+            break
+        ranks = nxt
+    return ranks
+
+
+def betweenness_centrality(graph: CSRGraph) -> np.ndarray:
+    """Brandes' exact betweenness centrality (unweighted, undirected)."""
+    n = graph.num_nodes
+    bc = np.zeros(n)
+    for s in range(n):
+        # Single-source shortest-path DAG.
+        sigma = np.zeros(n)
+        sigma[s] = 1.0
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[s] = 0
+        order = []
+        frontier = [s]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                order.append(u)
+                for v in graph.out_neigh(u).tolist():
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+                    if dist[v] == dist[u] + 1:
+                        sigma[v] += sigma[u]
+            frontier = nxt
+        # Dependency accumulation in reverse BFS order.
+        delta = np.zeros(n)
+        for u in reversed(order):
+            for v in graph.out_neigh(u).tolist():
+                if dist[v] == dist[u] + 1 and sigma[v] > 0:
+                    delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v])
+            if u != s:
+                bc[u] += delta[u]
+    return bc / 2.0  # undirected: each pair counted twice
+
+
+def boman_coloring(graph: CSRGraph) -> np.ndarray:
+    """Boman et al.'s iterative parallel coloring (Table 8's row).
+
+    Speculative rounds: every uncolored vertex greedily picks the smallest
+    color not used by its (already colored) neighbors; conflicting
+    adjacent picks — detected in a second phase, ties broken by vertex ID
+    — are re-queued for the next round.  Returns a proper coloring.
+    """
+    n = graph.num_nodes
+    colors = np.full(n, -1, dtype=np.int64)
+    pending = list(range(n))
+    while pending:
+        tentative = colors.copy()
+        for v in pending:
+            taken = {int(colors[u]) for u in graph.out_neigh(v).tolist()
+                     if colors[u] >= 0}
+            c = 0
+            while c in taken:
+                c += 1
+            tentative[v] = c
+        conflicts = []
+        pending_set = set(pending)
+        for v in pending:
+            # The higher ID of a clashing pair re-queues.
+            clash = any(
+                u in pending_set and tentative[u] == tentative[v] and u < v
+                for u in graph.out_neigh(v).tolist()
+            )
+            if clash:
+                conflicts.append(v)
+            else:
+                colors[v] = tentative[v]
+        pending = conflicts
+    return colors

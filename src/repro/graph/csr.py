@@ -1,0 +1,147 @@
+"""Compressed Sparse Row graph representation (paper section 2.3).
+
+CSR (a.k.a. *adjacency array*) is the default GMS representation: a
+contiguous array with the IDs of the neighbors of each vertex (``2m`` words
+for an undirected graph) plus an offset array (``n + 1`` words).  Every
+neighborhood is sorted by vertex ID.
+
+The class also implements the graph-access interface of the paper's pipeline
+stage ``2``: check the degree ``Δ(v)``, load the neighbors ``N(v)``, iterate
+over vertices/edges, and verify whether an edge ``(u, v)`` exists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Type
+
+import numpy as np
+
+from ..core.interface import SetBase
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An (optionally directed) graph in CSR form.
+
+    Parameters
+    ----------
+    offsets:
+        ``int64`` array of length ``n + 1``; neighborhood of vertex ``v`` is
+        ``adjacency[offsets[v]:offsets[v + 1]]``.
+    adjacency:
+        Concatenated, per-neighborhood-sorted ``int64`` neighbor IDs.
+    directed:
+        ``False`` (default) when each undirected edge is stored twice.
+    """
+
+    __slots__ = ("offsets", "adjacency", "directed")
+
+    def __init__(
+        self, offsets: np.ndarray, adjacency: np.ndarray, *, directed: bool = False
+    ):
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.adjacency = np.asarray(adjacency, dtype=np.int64)
+        self.directed = directed
+        if len(self.offsets) == 0 or self.offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if self.offsets[-1] != len(self.adjacency):
+            raise ValueError("offsets must end at len(adjacency)")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self.offsets) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``m`` (each undirected edge counted once)."""
+        if self.directed:
+            return len(self.adjacency)
+        return len(self.adjacency) // 2
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of stored arcs (``2m`` for undirected graphs)."""
+        return len(self.adjacency)
+
+    # ------------------------------------------------------------------
+    # Graph accesses (pipeline stage 2)
+    # ------------------------------------------------------------------
+    def out_degree(self, v: int) -> int:
+        """Return ``Δ(v)``."""
+        return int(self.offsets[v + 1] - self.offsets[v])
+
+    def out_neigh(self, v: int) -> np.ndarray:
+        """Return ``N(v)`` as a sorted array view (no copy)."""
+        return self.adjacency[self.offsets[v] : self.offsets[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether the arc ``(u, v)`` exists (binary search)."""
+        neigh = self.out_neigh(u)
+        idx = np.searchsorted(neigh, v)
+        return bool(idx < len(neigh) and neigh[idx] == v)
+
+    def degrees(self) -> np.ndarray:
+        """Return the full out-degree array."""
+        return np.diff(self.offsets)
+
+    def max_degree(self) -> int:
+        """Return ``Δ`` — the maximum degree."""
+        if self.num_nodes == 0:
+            return 0
+        return int(self.degrees().max())
+
+    def vertices(self) -> range:
+        """Iterate over ``V``."""
+        return range(self.num_nodes)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate edges once: ``u < v`` for undirected, arcs for directed."""
+        offsets = self.offsets
+        adjacency = self.adjacency
+        for u in range(self.num_nodes):
+            for v in adjacency[offsets[u] : offsets[u + 1]].tolist():
+                if self.directed or u < v:
+                    yield u, v
+
+    def edge_array(self) -> np.ndarray:
+        """Return all edges as a ``(k, 2)`` array (undirected: ``u < v``)."""
+        n = self.num_nodes
+        sources = np.repeat(np.arange(n, dtype=np.int64), self.degrees())
+        pairs = np.stack([sources, self.adjacency], axis=1)
+        if not self.directed:
+            pairs = pairs[pairs[:, 0] < pairs[:, 1]]
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Bridges into the set-centric world
+    # ------------------------------------------------------------------
+    def neighborhood_set(self, v: int, set_cls: Type[SetBase]) -> SetBase:
+        """Materialize ``N(v)`` as a set of the requested representation."""
+        return set_cls.from_sorted_array(self.out_neigh(v))
+
+    # ------------------------------------------------------------------
+    # Storage accounting (memory-consumption analysis, section 8.9)
+    # ------------------------------------------------------------------
+    def storage_bytes(self) -> int:
+        """Size of the CSR arrays in bytes."""
+        return self.offsets.nbytes + self.adjacency.nbytes
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"CSRGraph(n={self.num_nodes}, m={self.num_edges}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.directed == other.directed
+            and np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.adjacency, other.adjacency)
+        )
+
+    __hash__ = None  # type: ignore[assignment]

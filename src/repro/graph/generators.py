@@ -1,0 +1,315 @@
+"""Synthetic graph generators (paper section 4.2).
+
+GMS integrates graph generators for the random-uniform (Erdős–Rényi) and
+power-law (Kronecker) degree distributions so that single structural
+parameters can be varied systematically.  Because this reproduction runs
+offline, the generators below additionally serve as the *source of every
+dataset*: :mod:`repro.graph.datasets` composes them into seeded miniature
+analogs of each Table 7 graph category.
+
+All generators are deterministic given a seed and return
+:class:`~repro.graph.csr.CSRGraph` objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .builder import build_undirected
+from .csr import CSRGraph
+
+__all__ = [
+    "erdos_renyi",
+    "erdos_renyi_nm",
+    "kronecker",
+    "barabasi_albert",
+    "holme_kim",
+    "watts_strogatz",
+    "road_grid",
+    "planted_cliques",
+    "bipartite_projection",
+    "star_of_cliques",
+]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> CSRGraph:
+    """G(n, p): each of the ``n·(n-1)/2`` edges appears with probability p."""
+    rng = _rng(seed)
+    if n < 2 or p <= 0:
+        return build_undirected(max(n, 0), [])
+    # Sample the number of edges then draw them without replacement — O(m).
+    total_pairs = n * (n - 1) // 2
+    m = rng.binomial(total_pairs, min(p, 1.0))
+    return erdos_renyi_nm(n, int(m), seed=int(rng.integers(1 << 31)))
+
+
+def erdos_renyi_nm(n: int, m: int, seed: int = 0) -> CSRGraph:
+    """G(n, m): exactly ``m`` distinct edges drawn uniformly."""
+    rng = _rng(seed)
+    total_pairs = n * (n - 1) // 2
+    m = min(m, total_pairs)
+    if m <= 0:
+        return build_undirected(n, [])
+    if total_pairs < 4 * m:
+        # Dense regime: enumerate and choose.
+        idx = rng.choice(total_pairs, size=m, replace=False)
+        u, v = _unrank_pairs(idx, n)
+        return build_undirected(n, np.stack([u, v], axis=1))
+    # Sparse regime: rejection sampling of linear indices.
+    chosen: set = set()
+    while len(chosen) < m:
+        draw = rng.integers(0, total_pairs, size=2 * (m - len(chosen)))
+        chosen.update(draw.tolist())
+        if len(chosen) > m:
+            chosen = set(list(chosen)[:m])
+    idx = np.fromiter(chosen, dtype=np.int64, count=len(chosen))
+    u, v = _unrank_pairs(idx, n)
+    return build_undirected(n, np.stack([u, v], axis=1))
+
+
+def _unrank_pairs(idx: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Map linear indices over the strict upper triangle to (u, v) pairs."""
+    # Row-major upper triangle: offset(u) = u*n - u*(u+1)/2 - u... solve by
+    # inverting the quadratic; done in float then fixed up.
+    idx = idx.astype(np.float64)
+    b = 2 * n - 1
+    u = np.floor((b - np.sqrt(b * b - 8 * idx)) / 2).astype(np.int64)
+    start = u * (np.int64(2) * n - u - 1) // 2
+    # Fix rounding drift.
+    too_far = start > idx
+    while too_far.any():
+        u[too_far] -= 1
+        start = u * (np.int64(2) * n - u - 1) // 2
+        too_far = start > idx
+    v = (idx - start).astype(np.int64) + u + 1
+    return u, v
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+) -> CSRGraph:
+    """Kronecker / R-MAT power-law generator (Graph500 parameters).
+
+    ``n = 2^scale`` vertices and ``edge_factor · n`` sampled arcs, each drawn
+    by ``scale`` recursive quadrant choices with probabilities
+    ``(a, b, c, 1-a-b-c)``.  Duplicates and self-loops are dropped by the
+    builder, so the effective ``m`` is slightly lower — as in GAPBS.
+    """
+    rng = _rng(seed)
+    n = 1 << scale
+    num_arcs = edge_factor * n
+    u = np.zeros(num_arcs, dtype=np.int64)
+    v = np.zeros(num_arcs, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for bit in range(scale):
+        r = rng.random(num_arcs)
+        # Quadrants: r<a → (0,0); r<a+b → (0,1); r<a+b+c → (1,0); else (1,1).
+        u_bit = (r >= ab).astype(np.int64)
+        v_bit = (((r >= a) & (r < ab)) | (r >= abc)).astype(np.int64)
+        u |= u_bit << bit
+        v |= v_bit << bit
+    # Permute vertex IDs so degree is not correlated with ID.
+    perm = rng.permutation(n).astype(np.int64)
+    return build_undirected(n, np.stack([perm[u], perm[v]], axis=1))
+
+
+def barabasi_albert(n: int, m_attach: int, seed: int = 0) -> CSRGraph:
+    """Preferential attachment: each new vertex attaches to ``m_attach``."""
+    rng = _rng(seed)
+    m_attach = max(1, min(m_attach, n - 1))
+    targets: List[int] = list(range(m_attach))
+    repeated: List[int] = []
+    edges: List[Tuple[int, int]] = []
+    for source in range(m_attach, n):
+        picked = set()
+        while len(picked) < m_attach:
+            if repeated and rng.random() < 0.9:
+                cand = repeated[int(rng.integers(len(repeated)))]
+            else:
+                cand = int(rng.integers(source))
+            picked.add(cand)
+        for t in picked:
+            edges.append((source, t))
+            repeated.append(source)
+            repeated.append(t)
+    return build_undirected(n, edges)
+
+
+def holme_kim(n: int, m_attach: int, p_triangle: float, seed: int = 0) -> CSRGraph:
+    """Power-law cluster model: preferential attachment + triad closure.
+
+    Produces social-network-like graphs — heavy-tailed degrees *and* many
+    triangles — the structure that stresses clique-listing algorithms.
+    """
+    rng = _rng(seed)
+    m_attach = max(1, min(m_attach, n - 1))
+    adj: List[set] = [set() for _ in range(n)]
+    repeated: List[int] = list(range(m_attach))
+    for source in range(m_attach, n):
+        last_target = -1
+        added = 0
+        while added < m_attach:
+            close_triad = last_target >= 0 and rng.random() < p_triangle
+            if close_triad and adj[last_target]:
+                pool = list(adj[last_target])
+                cand = pool[int(rng.integers(len(pool)))]
+            else:
+                cand = repeated[int(rng.integers(len(repeated)))]
+            if cand != source and cand not in adj[source]:
+                adj[source].add(cand)
+                adj[cand].add(source)
+                repeated.append(source)
+                repeated.append(cand)
+                last_target = cand
+                added += 1
+            else:
+                last_target = -1
+    edges = [(u, v) for u in range(n) for v in adj[u] if u < v]
+    return build_undirected(n, edges)
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int = 0) -> CSRGraph:
+    """Ring lattice with ``k`` nearest neighbors, rewired with prob. beta.
+
+    Yields near-uniform degrees and a very *low* triangle-count skew — the
+    stand-in for structural/scientific meshes (Gearbox, ldoor).
+    """
+    rng = _rng(seed)
+    k = max(2, k - (k % 2))
+    edges: List[Tuple[int, int]] = []
+    for u in range(n):
+        for j in range(1, k // 2 + 1):
+            v = (u + j) % n
+            if rng.random() < beta:
+                w = int(rng.integers(n))
+                while w == u:
+                    w = int(rng.integers(n))
+                edges.append((u, w))
+            else:
+                edges.append((u, v))
+    return build_undirected(n, edges)
+
+
+def road_grid(rows: int, cols: int, extra_p: float = 0.0, seed: int = 0) -> CSRGraph:
+    """2-D grid: the road-network analog (huge diameter, almost no triangles)."""
+    rng = _rng(seed)
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+            if extra_p > 0 and r + 1 < rows and c + 1 < cols:
+                if rng.random() < extra_p:
+                    edges.append((v, v + cols + 1))
+    return build_undirected(rows * cols, edges)
+
+
+def planted_cliques(
+    n: int,
+    background_m: int,
+    cliques: Sequence[Tuple[int, int]],
+    seed: int = 0,
+    overlap: bool = False,
+) -> CSRGraph:
+    """Sparse ER background with planted cliques: ``[(size, count), ...]``.
+
+    The resulting graphs have extreme triangle-count skew concentrated in
+    the planted dense cores — the structure of Gupta3, Jester2, or RecDate
+    in Table 7 — which creates exactly the load-imbalance regime the paper
+    highlights for Bron–Kerbosch.
+    """
+    rng = _rng(seed)
+    base = erdos_renyi_nm(n, background_m, seed=int(rng.integers(1 << 31)))
+    edges = [tuple(e) for e in base.edge_array().tolist()]
+    available = list(range(n))
+    rng.shuffle(available)
+    cursor = 0
+    for size, count in cliques:
+        for _ in range(count):
+            if overlap or cursor + size > n:
+                members = rng.choice(n, size=size, replace=False)
+            else:
+                members = np.array(available[cursor : cursor + size])
+                cursor += size
+            members = members.tolist()
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    edges.append((members[i], members[j]))
+    return build_undirected(n, edges)
+
+
+def bipartite_projection(
+    n_users: int,
+    n_items: int,
+    ratings_per_user: int,
+    item_skew: float = 1.2,
+    seed: int = 0,
+    max_raters: int = 25,
+) -> CSRGraph:
+    """Project a user–item bipartite graph onto users.
+
+    Users who rated a common item become a clique over that item's raters,
+    so popular items create huge dense blobs — reproducing the enormous
+    triangle skew of recommendation networks (MovieRec, RecDate, Jester2).
+    ``item_skew`` is the Zipf exponent of item popularity; ``max_raters``
+    caps an item's clique size (a popularity saturation that keeps the
+    miniature graphs minable while preserving the skew shape).
+    """
+    rng = _rng(seed)
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-item_skew)
+    weights /= weights.sum()
+    item_members: List[List[int]] = [[] for _ in range(n_items)]
+    for user in range(n_users):
+        items = rng.choice(
+            n_items, size=min(ratings_per_user, n_items), replace=False, p=weights
+        )
+        for item in items.tolist():
+            item_members[item].append(user)
+    edges: List[Tuple[int, int]] = []
+    for members in item_members:
+        if len(members) > max_raters:
+            chosen = rng.choice(len(members), size=max_raters, replace=False)
+            members = [members[i] for i in chosen.tolist()]
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                edges.append((members[i], members[j]))
+    return build_undirected(n_users, edges)
+
+
+def star_of_cliques(
+    clique_size: int, num_cliques: int, hub_degree: int = 0, seed: int = 0
+) -> CSRGraph:
+    """Disjoint cliques optionally joined through a hub vertex.
+
+    A controlled workload for algorithmic-throughput studies: the number
+    and size of maximal cliques is known in closed form.
+    """
+    n = clique_size * num_cliques + (1 if hub_degree > 0 else 0)
+    edges: List[Tuple[int, int]] = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+    if hub_degree > 0:
+        hub = n - 1
+        rng = _rng(seed)
+        for target in rng.choice(n - 1, size=min(hub_degree, n - 1), replace=False):
+            edges.append((hub, int(target)))
+    return build_undirected(n, edges)

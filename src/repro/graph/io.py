@@ -1,0 +1,83 @@
+"""Graph I/O: edge-list files and binary CSR snapshots (pipeline stage 0).
+
+Supports the whitespace-separated edge-list (``.el``) format the paper's
+evaluation uses (Figure 11 labels graphs by their ``.el`` files), tolerating
+``#`` and ``%`` comment lines (SNAP / KONECT headers), plus a compact
+``.npz`` snapshot format for fast reload.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from .builder import build_directed, build_undirected
+from .csr import CSRGraph
+
+__all__ = ["read_edge_list", "write_edge_list", "save_npz", "load_npz"]
+
+
+def read_edge_list(
+    path: str | os.PathLike, *, directed: bool = False, num_nodes: int | None = None
+) -> CSRGraph:
+    """Read a whitespace-separated edge list file into a CSR graph.
+
+    Lines starting with ``#`` or ``%`` are comments.  Vertex IDs must be
+    non-negative integers; ``num_nodes`` defaults to ``max id + 1``.
+
+    Raises
+    ------
+    ValueError
+        On malformed lines (fewer than two fields, non-integer fields).
+    """
+    edges: List[Tuple[int, int]] = []
+    max_id = -1
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#") or text.startswith("%"):
+                continue
+            fields = text.split()
+            if len(fields) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'u v', got {text!r}")
+            try:
+                u, v = int(fields[0]), int(fields[1])
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: non-integer vertex ID in {text!r}"
+                ) from exc
+            if u < 0 or v < 0:
+                raise ValueError(f"{path}:{lineno}: negative vertex ID in {text!r}")
+            edges.append((u, v))
+            max_id = max(max_id, u, v)
+    n = num_nodes if num_nodes is not None else max_id + 1
+    build = build_directed if directed else build_undirected
+    return build(max(n, 0), edges)
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the graph as a ``u v`` edge list (one line per edge)."""
+    with open(path, "w") as handle:
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Save the CSR arrays to a compressed ``.npz`` snapshot."""
+    np.savez_compressed(
+        path,
+        offsets=graph.offsets,
+        adjacency=graph.adjacency,
+        directed=np.array([graph.directed]),
+    )
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a CSR snapshot saved by :func:`save_npz`."""
+    data = np.load(path)
+    return CSRGraph(
+        data["offsets"], data["adjacency"], directed=bool(data["directed"][0])
+    )

@@ -1,0 +1,108 @@
+"""Graph transformations used by the mining pipeline (paper Listings 6–7).
+
+* :func:`orient_by_rank` — the ``dir(G)`` step of the k-clique algorithm
+  (Listing 7): keep only arcs ``v → u`` with ``η(v) < η(u)``, turning the
+  undirected graph into a DAG whose out-degrees are bounded by the
+  (approximate) degeneracy when η is a degeneracy-style order.
+* :func:`permute` — relabel vertices by a permutation (pipeline stage 3):
+  the preprocessing hook for all reordering schemes.
+* :func:`induced_subgraph` — extract ``G[S]`` with compacted vertex IDs,
+  used by the subgraph-caching BK optimization and by FSM.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .builder import build_undirected
+from .csr import CSRGraph
+
+__all__ = ["orient_by_rank", "permute", "induced_subgraph", "split_neighbors"]
+
+
+def orient_by_rank(graph: CSRGraph, rank: np.ndarray) -> CSRGraph:
+    """Return the DAG keeping arcs from lower to higher rank.
+
+    ``rank`` maps vertex → position in the chosen order η; ties are broken
+    by vertex ID so the output is always a proper DAG.
+    """
+    if graph.directed:
+        raise ValueError("orient_by_rank expects an undirected graph")
+    rank = np.asarray(rank)
+    n = graph.num_nodes
+    sources = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    targets = graph.adjacency
+    keep = (rank[sources] < rank[targets]) | (
+        (rank[sources] == rank[targets]) & (sources < targets)
+    )
+    arcs_src = sources[keep]
+    arcs_dst = targets[keep]
+    counts = np.bincount(arcs_src, minlength=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    # Arcs are already grouped by source (CSR order) and sorted by target.
+    return CSRGraph(offsets, arcs_dst, directed=True)
+
+
+def permute(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
+    """Relabel vertices: new ID of vertex ``v`` is ``perm[v]``.
+
+    The result stores sorted neighborhoods under the new IDs.  This is the
+    relabeling step of the preprocessing stage (``3``): after permuting by
+    a rank array, iterating vertices ``0..n-1`` visits them in rank order.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = graph.num_nodes
+    if len(perm) != n or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    sources = perm[np.repeat(np.arange(n, dtype=np.int64), graph.degrees())]
+    targets = perm[graph.adjacency]
+    counts = np.bincount(sources, minlength=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    order = np.lexsort((targets, sources))
+    return CSRGraph(offsets, targets[order], directed=graph.directed)
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: Sequence[int] | np.ndarray
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Return ``(G[S], S_sorted)``: the induced subgraph and its vertex map.
+
+    Vertex ``i`` of the subgraph corresponds to ``S_sorted[i]`` in the
+    original graph.
+    """
+    verts = np.unique(np.asarray(vertices, dtype=np.int64))
+    index = {int(v): i for i, v in enumerate(verts)}
+    edges = []
+    member = np.zeros(graph.num_nodes, dtype=bool)
+    member[verts] = True
+    for v in verts.tolist():
+        neigh = graph.out_neigh(v)
+        kept = neigh[member[neigh]]
+        vi = index[v]
+        for u in kept.tolist():
+            ui = index[u]
+            if graph.directed or vi < ui:
+                edges.append((vi, ui))
+    if graph.directed:
+        from .builder import build_directed
+
+        return build_directed(len(verts), edges), verts
+    return build_undirected(len(verts), edges), verts
+
+
+def split_neighbors(
+    neighbors: np.ndarray, rank: np.ndarray, pivot_rank: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split ``N(v)`` into later/earlier vertices w.r.t. a rank order.
+
+    Implements the observation of section 6.2 that the initial
+    ``P = N(v) ∩ {v_{i+1}..v_n}`` and ``X = N(v) ∩ {v_1..v_{i-1}}``
+    intersections reduce to *splitting* the neighborhood by rank.
+    Returns ``(later, earlier)`` as arrays of vertex IDs.
+    """
+    ranks = rank[neighbors]
+    return neighbors[ranks > pivot_rank], neighbors[ranks < pivot_rank]

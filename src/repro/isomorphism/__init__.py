@@ -1,0 +1,24 @@
+"""Subgraph isomorphism algorithms (paper section 6.4, appendix A)."""
+
+from .glasgow import glasgow_count, glasgow_embeddings
+from .turboiso import nec_classes, turboiso_count
+from .parallel import SI_VARIANTS, SIVariantResult, run_si_variant, si_scaling_curve
+from .vf2 import connectivity_order, vf2_count, vf2_embeddings
+from .vf3light import rarity_order, vf3light_count, vf3light_embeddings
+
+__all__ = [
+    "vf2_embeddings",
+    "vf2_count",
+    "connectivity_order",
+    "vf3light_embeddings",
+    "vf3light_count",
+    "rarity_order",
+    "glasgow_embeddings",
+    "glasgow_count",
+    "turboiso_count",
+    "nec_classes",
+    "SI_VARIANTS",
+    "SIVariantResult",
+    "run_si_variant",
+    "si_scaling_curve",
+]

@@ -1,0 +1,77 @@
+"""Shared state machinery for the subgraph-isomorphism algorithms.
+
+Both VF2 and VF3-Light maintain a partial mapping ``query → target`` and
+extend it one pair at a time, backtracking on infeasibility.  This module
+holds the mapping state plus the feasibility checks shared by the family;
+the algorithms differ in their vertex orderings, candidate generation, and
+pruning strength (paper section 6.4 / appendix A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["MatchState", "degree_prune_ok"]
+
+
+class MatchState:
+    """Partial embedding of a query graph into a target graph."""
+
+    __slots__ = ("query", "target", "core_q", "used_t", "depth")
+
+    def __init__(self, query: CSRGraph, target: CSRGraph):
+        self.query = query
+        self.target = target
+        self.core_q: List[int] = [-1] * query.num_nodes  # query → target
+        self.used_t = np.zeros(target.num_nodes, dtype=bool)
+        self.depth = 0
+
+    def assign(self, q: int, t: int) -> None:
+        self.core_q[q] = t
+        self.used_t[t] = True
+        self.depth += 1
+
+    def unassign(self, q: int, t: int) -> None:
+        self.core_q[q] = -1
+        self.used_t[t] = False
+        self.depth -= 1
+
+    def is_complete(self) -> bool:
+        return self.depth == self.query.num_nodes
+
+    def mapping(self) -> List[int]:
+        return list(self.core_q)
+
+    def feasible(self, q: int, t: int, *, induced: bool) -> bool:
+        """Consistency of the extension ``q → t`` with the partial mapping.
+
+        Non-induced: every mapped query-neighbor of ``q`` must map to a
+        target-neighbor of ``t``.  Induced additionally requires mapped
+        query *non*-neighbors to map to target non-neighbors of ``t``.
+        """
+        query, target, core_q = self.query, self.target, self.core_q
+        q_neigh = query.out_neigh(q)
+        neigh_set = set(q_neigh.tolist())
+        for qm in range(query.num_nodes):
+            tm = core_q[qm]
+            if tm < 0 or qm == q:
+                continue
+            adjacent_q = qm in neigh_set
+            adjacent_t = target.has_edge(t, tm)
+            if adjacent_q and not adjacent_t:
+                return False
+            if induced and not adjacent_q and adjacent_t:
+                return False
+        return True
+
+
+def degree_prune_ok(
+    query: CSRGraph, target: CSRGraph, q: int, t: int, induced: bool
+) -> bool:
+    """Cheap degree-based pruning: a target vertex cannot host a query
+    vertex of larger degree (non-induced lower bound)."""
+    return target.out_degree(t) >= query.out_degree(q)

@@ -1,0 +1,158 @@
+"""VF2 subgraph isomorphism (paper section 4.1.1 / appendix A).
+
+The classic Cordella et al. backtracking algorithm, supporting both the
+*non-induced* (monomorphism) and *induced* variants, with optional vertex
+labels.  The query vertices are visited in a connectivity-preserving order
+(each vertex after the first has a previously-mapped neighbor whenever the
+query is connected), and candidates for a vertex are drawn from the target
+neighborhoods of already-mapped vertices — the standard VF2 candidate-pair
+generation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .state import MatchState, degree_prune_ok
+
+__all__ = ["vf2_embeddings", "vf2_count", "connectivity_order"]
+
+
+def connectivity_order(query: CSRGraph) -> List[int]:
+    """BFS-style order starting at the max-degree vertex.
+
+    Guarantees (for connected queries) that every vertex except the first
+    has at least one earlier neighbor — the prerequisite of neighborhood-
+    driven candidate generation.
+    """
+    n = query.num_nodes
+    if n == 0:
+        return []
+    degrees = query.degrees()
+    start = int(np.argmax(degrees))
+    seen = [False] * n
+    order = [start]
+    seen[start] = True
+    frontier = [start]
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for v in query.out_neigh(u).tolist():
+                if not seen[v]:
+                    seen[v] = True
+                    order.append(v)
+                    nxt.append(v)
+        frontier = nxt
+    for v in range(n):  # disconnected queries: append leftovers
+        if not seen[v]:
+            order.append(v)
+    return order
+
+
+def _candidates(
+    state: MatchState, order: List[int], q_index: int
+) -> Sequence[int]:
+    """Candidate target vertices for the next query vertex."""
+    q = order[q_index]
+    query, target = state.query, state.target
+    # Prefer anchoring at a mapped query-neighbor: candidates are then the
+    # unmapped target-neighbors of its image.
+    for qn in query.out_neigh(q).tolist():
+        tn = state.core_q[qn]
+        if tn >= 0:
+            neigh = target.out_neigh(tn)
+            return neigh[~state.used_t[neigh]].tolist()
+    unused = np.nonzero(~state.used_t)[0]
+    return unused.tolist()
+
+
+def vf2_embeddings(
+    target: CSRGraph,
+    query: CSRGraph,
+    *,
+    induced: bool = False,
+    target_labels: Optional[np.ndarray] = None,
+    query_labels: Optional[np.ndarray] = None,
+    limit: Optional[int] = None,
+    roots: Optional[Sequence[int]] = None,
+) -> Iterator[List[int]]:
+    """Yield embeddings as ``query-vertex → target-vertex`` lists.
+
+    ``roots`` restricts the images of the *first* query vertex — the hook
+    the parallel driver uses for work splitting (section 6.4).
+    """
+    order = connectivity_order(query)
+    if not order:
+        yield []
+        return
+    state = MatchState(query, target)
+    labels_ok = _label_checker(target_labels, query_labels)
+    emitted = 0
+
+    first = order[0]
+    if roots is None:
+        root_candidates: Sequence[int] = range(target.num_nodes)
+    else:
+        root_candidates = roots
+
+    stack_yield: List[List[int]] = []
+
+    def extend(idx: int) -> Iterator[List[int]]:
+        nonlocal emitted
+        if idx == len(order):
+            yield state.mapping()
+            return
+        q = order[idx]
+        cands = _candidates(state, order, idx) if idx > 0 else root_candidates
+        for t in cands:
+            if state.used_t[t]:
+                continue
+            if not labels_ok(q, t):
+                continue
+            if not degree_prune_ok(query, target, q, t, induced):
+                continue
+            if not state.feasible(q, t, induced=induced):
+                continue
+            state.assign(q, t)
+            yield from extend(idx + 1)
+            state.unassign(q, t)
+
+    for mapping in extend(0):
+        yield mapping
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            return
+
+
+def _label_checker(target_labels, query_labels):
+    if target_labels is None or query_labels is None:
+        return lambda q, t: True
+    tl = np.asarray(target_labels)
+    ql = np.asarray(query_labels)
+    return lambda q, t: tl[t] == ql[q]
+
+
+def vf2_count(
+    target: CSRGraph,
+    query: CSRGraph,
+    *,
+    induced: bool = False,
+    target_labels: Optional[np.ndarray] = None,
+    query_labels: Optional[np.ndarray] = None,
+    limit: Optional[int] = None,
+) -> int:
+    """Number of embeddings (vertex-labeled maps, not automorphism classes)."""
+    return sum(
+        1
+        for _ in vf2_embeddings(
+            target,
+            query,
+            induced=induced,
+            target_labels=target_labels,
+            query_labels=query_labels,
+            limit=limit,
+        )
+    )

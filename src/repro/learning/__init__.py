@@ -1,0 +1,32 @@
+"""Graph-learning algorithms: similarity, link prediction, clustering."""
+
+from .jarvis_patrick import jarvis_patrick
+from .label_propagation import label_propagation
+from .linkpred import (
+    LinkPredictionResult,
+    evaluate_scheme,
+    predict_links,
+    sparsify,
+)
+from .louvain import louvain, modularity
+from .similarity import (
+    SIMILARITY_MEASURES,
+    score_pairs,
+    similarity,
+    similarity_all_pairs,
+)
+
+__all__ = [
+    "SIMILARITY_MEASURES",
+    "similarity",
+    "similarity_all_pairs",
+    "score_pairs",
+    "LinkPredictionResult",
+    "sparsify",
+    "predict_links",
+    "evaluate_scheme",
+    "jarvis_patrick",
+    "label_propagation",
+    "louvain",
+    "modularity",
+]

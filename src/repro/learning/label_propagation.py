@@ -1,0 +1,50 @@
+"""Label-propagation community detection (paper section 4.1.2, appendix A).
+
+Raghavan et al.'s near-linear community detection: every vertex repeatedly
+adopts the most frequent label among its neighbors until labels stabilize —
+the paper's example of convergence-based, non-overlapping clustering based
+on *label dominance*.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["label_propagation"]
+
+
+def label_propagation(
+    graph: CSRGraph, max_rounds: int = 50, seed: int = 0
+) -> np.ndarray:
+    """Return community labels (compacted to ``0..c-1``).
+
+    Vertices are visited in a random order each round (the standard tie-
+    and oscillation-breaking device); ties between label frequencies are
+    broken uniformly at random.  Terminates when a full round changes no
+    label or after *max_rounds*.
+    """
+    n = graph.num_nodes
+    labels = np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    for _ in range(max_rounds):
+        changed = False
+        for v in rng.permutation(n).tolist():
+            neigh = graph.out_neigh(v)
+            if len(neigh) == 0:
+                continue
+            freq = Counter(labels[neigh].tolist())
+            best_count = max(freq.values())
+            best_labels = [lab for lab, c in freq.items() if c == best_count]
+            new = best_labels[int(rng.integers(len(best_labels)))]
+            if new != labels[v]:
+                labels[v] = new
+                changed = True
+        if not changed:
+            break
+    _, compact = np.unique(labels, return_inverse=True)
+    return compact.astype(np.int64)

@@ -1,0 +1,93 @@
+"""Link prediction and its accuracy assessment (paper section 6.7).
+
+The protocol of section 6.7, verbatim in set algebra:
+
+1. start from a graph with known links ``E``;
+2. remove a random subset ``E_rndm ⊆ E`` — the links to be predicted —
+   leaving ``E_sparse = E \\ E_rndm`` (so ``E_sparse ∪ E_rndm = E`` and
+   ``E_sparse ∩ E_rndm = ∅``);
+3. score candidate pairs ``e ∈ (V × V) \\ E_sparse`` with a similarity
+   scheme ``S`` computed on the sparsified graph;
+4. the effectiveness of ``S`` is ``eff = |E_predict ∩ E_rndm|`` where
+   ``E_predict`` are the ``|E_rndm|`` highest-scored pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from ..graph.builder import build_undirected
+from ..graph.csr import CSRGraph
+from .similarity import SIMILARITY_MEASURES, similarity_all_pairs
+
+__all__ = ["LinkPredictionResult", "sparsify", "predict_links", "evaluate_scheme"]
+
+
+@dataclass
+class LinkPredictionResult:
+    """Outcome of one link-prediction accuracy experiment."""
+
+    measure: str
+    removed: int
+    predicted_correct: int
+    pairs_scored: int
+
+    @property
+    def effectiveness(self) -> float:
+        """``|E_predict ∩ E_rndm| / |E_rndm|`` — normalized eff of §6.7."""
+        return self.predicted_correct / self.removed if self.removed else 0.0
+
+
+def sparsify(
+    graph: CSRGraph, fraction: float, seed: int = 0
+) -> Tuple[CSRGraph, Set[Tuple[int, int]]]:
+    """Remove a random *fraction* of edges; return ``(G_sparse, E_rndm)``."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    edges = graph.edge_array()
+    rng = np.random.default_rng(seed)
+    k = max(1, int(len(edges) * fraction))
+    removed_idx = rng.choice(len(edges), size=k, replace=False)
+    mask = np.zeros(len(edges), dtype=bool)
+    mask[removed_idx] = True
+    removed = {tuple(e) for e in edges[mask].tolist()}
+    sparse = build_undirected(graph.num_nodes, edges[~mask])
+    return sparse, removed
+
+
+def predict_links(
+    sparse: CSRGraph, budget: int, measure: str = "jaccard"
+) -> List[Tuple[int, int, float]]:
+    """Top-*budget* non-adjacent pairs by similarity score on ``G_sparse``."""
+    scored = [
+        (u, v, s)
+        for u, v, s in similarity_all_pairs(sparse, measure)
+        if not sparse.has_edge(u, v)
+    ]
+    scored.sort(key=lambda t: (-t[2], t[0], t[1]))
+    return scored[:budget]
+
+
+def evaluate_scheme(
+    graph: CSRGraph, measure: str = "jaccard", fraction: float = 0.1, seed: int = 0
+) -> LinkPredictionResult:
+    """Run the full section 6.7 protocol for one similarity scheme."""
+    if measure not in SIMILARITY_MEASURES:
+        known = ", ".join(sorted(SIMILARITY_MEASURES))
+        raise KeyError(f"unknown measure {measure!r}; known: {known}")
+    sparse, removed = sparsify(graph, fraction, seed)
+    predictions = predict_links(sparse, budget=len(removed), measure=measure)
+    hits = sum(
+        1
+        for u, v, _ in predictions
+        if (u, v) in removed or (v, u) in removed
+    )
+    return LinkPredictionResult(
+        measure=measure,
+        removed=len(removed),
+        predicted_correct=hits,
+        pairs_scored=len(predictions),
+    )

@@ -1,0 +1,47 @@
+"""k-clique-star listing (paper section 6.6).
+
+A *k-clique-star* is a k-clique together with the set of additional
+vertices adjacent to **all** clique members (the "star").  The paper's
+observation: each star vertex forms a (k+1)-clique with the k-clique, so
+the search can reuse the k-clique machinery — mine k-cliques, then derive
+each star with set intersections, membership, and difference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .kclique import kclique_list
+
+__all__ = ["kclique_stars", "kclique_star_count"]
+
+
+def kclique_stars(
+    graph: CSRGraph, k: int, min_star: int = 1
+) -> List[Tuple[List[int], List[int]]]:
+    """List ``(clique, star)`` pairs for all k-cliques with ``|star| ≥ min_star``.
+
+    The star of a clique ``C`` is ``(∩_{v ∈ C} N(v)) \\ C`` — exactly the
+    vertices completing ``C`` into a (k+1)-clique, per section 6.6.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    results: List[Tuple[List[int], List[int]]] = []
+    for clique in kclique_list(graph, k):
+        star = graph.out_neigh(clique[0])
+        for v in clique[1:]:
+            star = np.intersect1d(star, graph.out_neigh(v), assume_unique=True)
+            if len(star) == 0:
+                break
+        star = np.setdiff1d(star, np.asarray(clique), assume_unique=True)
+        if len(star) >= min_star:
+            results.append((clique, star.tolist()))
+    return results
+
+
+def kclique_star_count(graph: CSRGraph, k: int, min_star: int = 1) -> int:
+    """Number of k-clique-stars with at least *min_star* star vertices."""
+    return len(kclique_stars(graph, k, min_star))

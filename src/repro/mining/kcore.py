@@ -1,0 +1,53 @@
+"""k-core decomposition and dense-subgraph discovery (paper sections 4.1.1, 6.1).
+
+The degeneracy order directly yields the k-cores of a graph: iterate in
+order and keep vertices whose core number is at least ``k``.  GMS provides
+the exact decomposition (via DGR peeling) and the (2+ε)-approximate variant
+built on ADG (section 6.1 / appendix A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.transforms import induced_subgraph
+from ..preprocess.ordering import approx_coreness, coreness
+
+__all__ = ["core_numbers", "k_core", "approx_core_numbers", "core_histogram"]
+
+
+def core_numbers(graph: CSRGraph) -> np.ndarray:
+    """Exact core number of every vertex (O(n + m) peeling)."""
+    return coreness(graph)
+
+
+def approx_core_numbers(graph: CSRGraph, eps: float = 0.5) -> np.ndarray:
+    """(2+ε)-approximate core numbers derived from the ADG rounds."""
+    return approx_coreness(graph, eps)
+
+
+def k_core(graph: CSRGraph, k: int) -> Tuple[CSRGraph, np.ndarray]:
+    """Return the k-core subgraph and its vertex IDs (original labels).
+
+    The k-core is the maximal subgraph in which every vertex has degree at
+    least ``k``; it is empty when ``k`` exceeds the degeneracy.
+    """
+    cores = coreness(graph)
+    members = np.nonzero(cores >= k)[0]
+    if len(members) == 0:
+        return graph.__class__(
+            np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64)
+        ), members
+    return induced_subgraph(graph, members)[0], members
+
+
+def core_histogram(graph: CSRGraph) -> List[Tuple[int, int]]:
+    """``(k, #vertices with core number k)`` pairs, ascending in k."""
+    cores = coreness(graph)
+    if len(cores) == 0:
+        return []
+    counts = np.bincount(cores)
+    return [(k, int(c)) for k, c in enumerate(counts) if c > 0]

@@ -1,0 +1,16 @@
+"""Optimization problems of the GMS specification (section 4.1.4)."""
+
+from .coloring import ColoringResult, johansson, jones_plassmann, verify_coloring
+from .mincut import contract_once, karger_stein
+from .mst import MSTResult, boruvka
+
+__all__ = [
+    "ColoringResult",
+    "jones_plassmann",
+    "johansson",
+    "verify_coloring",
+    "MSTResult",
+    "boruvka",
+    "karger_stein",
+    "contract_once",
+]

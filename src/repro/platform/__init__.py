@@ -1,0 +1,25 @@
+"""Benchmarking platform: pipeline, CLI, harness (paper section 5)."""
+
+from .bench import (
+    ARTIFACT_DIR,
+    parallel_reorder_seconds,
+    print_table,
+    simulated_parallel_seconds,
+    write_artifact,
+)
+from .cli import Args, build_parser, parse_args
+from .pipeline import Pipeline, PipelineReport, StageRecord
+
+__all__ = [
+    "Pipeline",
+    "PipelineReport",
+    "StageRecord",
+    "Args",
+    "build_parser",
+    "parse_args",
+    "parallel_reorder_seconds",
+    "simulated_parallel_seconds",
+    "print_table",
+    "write_artifact",
+    "ARTIFACT_DIR",
+]

@@ -1,0 +1,81 @@
+"""GMS-style CLI argument handling (``GMS::CLI::Args`` of Listing 3).
+
+Benchmarks and examples share a single argument surface: dataset selection,
+set representation, vertex ordering, thread counts for the simulated
+scaling runs, and output control.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.registry import SET_CLASSES
+from ..preprocess.ordering import ORDERINGS
+
+__all__ = ["Args", "build_parser", "parse_args"]
+
+
+@dataclass
+class Args:
+    """Parsed benchmark arguments."""
+
+    dataset: str = "gearbox-mini"
+    set_class: str = "bitset"
+    ordering: str = "ADG"
+    eps: float = 0.1
+    threads: List[int] = None  # type: ignore[assignment]
+    k: int = 4
+    repeats: int = 3
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threads is None:
+            self.threads = [1, 2, 4, 8, 16, 32]
+
+
+def build_parser(description: str = "GMS reproduction benchmark") -> argparse.ArgumentParser:
+    """Construct the shared argument parser."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--dataset", default="gearbox-mini", help="registry dataset name"
+    )
+    parser.add_argument(
+        "--set-class",
+        default="bitset",
+        choices=sorted(SET_CLASSES),
+        help="set representation (the 5+ modularity hook)",
+    )
+    parser.add_argument(
+        "--ordering",
+        default="ADG",
+        choices=sorted(ORDERINGS),
+        help="vertex reordering preprocessing (stage 3)",
+    )
+    parser.add_argument("--eps", type=float, default=0.1,
+                        help="ADG approximation parameter")
+    parser.add_argument("--k", type=int, default=4, help="clique size k")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--threads", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32],
+        help="simulated thread counts",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def parse_args(argv: Optional[List[str]] = None,
+               description: str = "GMS reproduction benchmark") -> Args:
+    """Parse *argv* into an :class:`Args`."""
+    ns = build_parser(description).parse_args(argv)
+    return Args(
+        dataset=ns.dataset,
+        set_class=ns.set_class,
+        ordering=ns.ordering,
+        eps=ns.eps,
+        threads=list(ns.threads),
+        k=ns.k,
+        repeats=ns.repeats,
+        verbose=ns.verbose,
+    )

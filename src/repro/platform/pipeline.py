@@ -1,0 +1,96 @@
+"""The GMS benchmarking pipeline (paper section 5.4, Listing 3).
+
+A benchmark is a sequence of well-separated stages —
+``convert`` (representation conversion), ``preprocess`` (e.g. reordering),
+``kernel`` (the mining algorithm) — each independently timed, which is
+what enables the fine-grained analysis of the evaluation (e.g. the
+"fraction needed for reordering" bars of Figure 4).
+
+Subclass :class:`Pipeline` and override the stage methods; `run()` executes
+the stages in order and records per-stage wall times and counter deltas.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import counters as _counters
+
+__all__ = ["Pipeline", "StageRecord", "PipelineReport"]
+
+
+@dataclass
+class StageRecord:
+    """Timing + counter deltas of one pipeline stage."""
+
+    name: str
+    seconds: float
+    set_ops: int
+    memory_traffic: int
+
+
+@dataclass
+class PipelineReport:
+    """Full run record."""
+
+    stages: List[StageRecord] = field(default_factory=list)
+    result: object = None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages)
+
+    def stage(self, name: str) -> StageRecord:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage named {name!r}")
+
+    def fraction(self, name: str) -> float:
+        """Fraction of total time spent in one stage (Figure 4's split)."""
+        total = self.total_seconds
+        return self.stage(name).seconds / total if total else 0.0
+
+
+class Pipeline:
+    """Base class for GMS benchmark pipelines (Listing 3).
+
+    Benchmark-specific arguments (including the input graph) are passed to
+    the constructor; the stage methods share state via ``self``.
+    """
+
+    #: Stage names, in execution order; override to add custom stages.
+    STAGES = ("convert", "preprocess", "kernel")
+
+    def convert(self) -> None:
+        """Optional conversion of the graph to another representation."""
+
+    def preprocess(self) -> None:
+        """Optional preprocessing (e.g. vertex reordering)."""
+
+    def kernel(self) -> None:
+        """The graph mining algorithm under benchmark."""
+        raise NotImplementedError
+
+    def run(self) -> PipelineReport:
+        """Execute all stages, recording per-stage time and counters."""
+        report = PipelineReport()
+        for name in self.STAGES:
+            stage_fn = getattr(self, name)
+            before = _counters.snapshot()
+            t0 = time.perf_counter()
+            stage_fn()
+            seconds = time.perf_counter() - t0
+            delta = before.delta(_counters.snapshot())
+            report.stages.append(
+                StageRecord(
+                    name=name,
+                    seconds=seconds,
+                    set_ops=delta.set_ops,
+                    memory_traffic=delta.memory_traffic,
+                )
+            )
+        report.result = getattr(self, "result", None)
+        return report

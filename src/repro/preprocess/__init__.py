@@ -1,0 +1,31 @@
+"""Preprocessing stage of the GMS pipeline (modularity hook ``3``)."""
+
+from .ordering import (
+    ORDERINGS,
+    OrderingResult,
+    approx_coreness,
+    approx_degeneracy_order,
+    compute_ordering,
+    coreness,
+    degeneracy_order,
+    degeneracy_order_result,
+    degree_order,
+    identity_order,
+    random_order,
+    triangle_count_order,
+)
+
+__all__ = [
+    "OrderingResult",
+    "ORDERINGS",
+    "compute_ordering",
+    "degree_order",
+    "degeneracy_order",
+    "degeneracy_order_result",
+    "approx_degeneracy_order",
+    "approx_coreness",
+    "coreness",
+    "triangle_count_order",
+    "identity_order",
+    "random_order",
+]

@@ -1,0 +1,32 @@
+"""Simulated parallel runtime: work–depth, schedulers, PAPI facade, metrics."""
+
+from .metrics import (
+    Timer,
+    TimingResult,
+    algorithmic_throughput,
+    bootstrap_ci,
+    measure,
+    peak_memory_bytes,
+)
+from .papi import PAPI_L3_TCM, PAPI_MEM_SCY, PAPI_RES_STL, PAPIW, StallModel
+from .scheduler import SCHEDULER_POLICIES, simulate_makespan, speedup_curve
+from .workdepth import WorkDepthReport, WorkDepthTracker
+
+__all__ = [
+    "WorkDepthTracker",
+    "WorkDepthReport",
+    "simulate_makespan",
+    "speedup_curve",
+    "SCHEDULER_POLICIES",
+    "PAPIW",
+    "StallModel",
+    "PAPI_MEM_SCY",
+    "PAPI_RES_STL",
+    "PAPI_L3_TCM",
+    "Timer",
+    "TimingResult",
+    "measure",
+    "algorithmic_throughput",
+    "bootstrap_ci",
+    "peak_memory_bytes",
+]

@@ -1,0 +1,85 @@
+"""Work–depth accounting for the concurrency analysis (paper section 7).
+
+The paper analyzes every algorithm with the *work–depth* model: ``W`` is the
+total number of operations, ``D`` the length of the longest chain of
+sequential dependencies, and the runtime on ``p`` processors is estimated as
+``W/p + D`` (section 7.2 — "this estimate is optimistic ... yet it has
+proven a useful model").
+
+Because CPython's GIL forbids real shared-memory parallel set algebra, this
+reproduction *instruments* the sequential execution with the same model:
+algorithms record the cost of each parallel task (outer-loop iteration,
+batch round, …) into a :class:`WorkDepthTracker`, and the scheduler module
+turns the recorded profile into per-thread-count runtime estimates.  The
+"shape" results of the evaluation — speedup flattening, scalability
+crossovers — derive from these measured profiles of the real execution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["WorkDepthTracker", "WorkDepthReport"]
+
+
+@dataclass
+class WorkDepthReport:
+    """Summary of one tracked region."""
+
+    work: float
+    depth: float
+    num_tasks: int
+
+    def runtime_estimate(self, threads: int) -> float:
+        """Brent-style estimate ``W/p + D``."""
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        return self.work / threads + self.depth
+
+    def speedup_estimate(self, threads: int) -> float:
+        """Estimated speedup over the 1-thread execution."""
+        return self.runtime_estimate(1) / self.runtime_estimate(threads)
+
+
+class WorkDepthTracker:
+    """Accumulates work and depth along the paper's fork–join structure.
+
+    ``sequential(w)`` models w units executed on the critical path.
+    ``parallel_for(costs)`` models a parallel loop: the work is the sum of
+    the per-iteration costs, the depth is the maximum cost plus an
+    ``O(log n)`` scheduling/reduction term.  Per-task costs are retained so
+    the discrete-event scheduler can replay them.
+    """
+
+    def __init__(self) -> None:
+        self.work: float = 0.0
+        self.depth: float = 0.0
+        self.task_costs: List[float] = []
+
+    def sequential(self, cost: float) -> None:
+        """Record *cost* units of inherently sequential execution."""
+        self.work += cost
+        self.depth += cost
+
+    def parallel_for(self, costs: Sequence[float]) -> None:
+        """Record one parallel loop with the given per-iteration costs."""
+        if len(costs) == 0:
+            return
+        total = float(sum(costs))
+        longest = float(max(costs))
+        self.work += total
+        self.depth += longest + math.log2(len(costs) + 1)
+        self.task_costs.extend(float(c) for c in costs)
+
+    def parallel_rounds(self, round_costs: Sequence[Sequence[float]]) -> None:
+        """Record a sequence of parallel rounds (e.g. ADG's peeling batches)."""
+        for costs in round_costs:
+            self.parallel_for(costs)
+
+    def report(self) -> WorkDepthReport:
+        """Freeze the current totals into a report."""
+        return WorkDepthReport(
+            work=self.work, depth=self.depth, num_tasks=len(self.task_costs)
+        )

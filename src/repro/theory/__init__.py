@@ -1,0 +1,5 @@
+"""Concurrency analysis: closed-form bounds of Tables 5, 6 and 8."""
+
+from .bounds import TABLE5, TABLE6, Bound, check_scaling, table8_time, table9_time
+
+__all__ = ["Bound", "TABLE5", "TABLE6", "table8_time", "table9_time", "check_scaling"]

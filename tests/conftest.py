@@ -1,0 +1,49 @@
+"""Shared fixtures: random graphs, set classes, miniature datasets."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import (
+    BitSet,
+    CompressedSortedSet,
+    HashSet,
+    RoaringSet,
+    SortedSet,
+)
+from repro.graph import build_undirected
+
+ALL_SET_CLASSES = [SortedSet, BitSet, RoaringSet, HashSet, CompressedSortedSet]
+
+
+@pytest.fixture(params=ALL_SET_CLASSES, ids=lambda c: c.__name__)
+def set_cls(request):
+    """Parametrizes a test over all four set representations."""
+    return request.param
+
+
+def random_csr(n: int, m: int, seed: int):
+    """A random G(n, m) CSR graph plus its networkx twin."""
+    G = nx.gnm_random_graph(n, m, seed=seed)
+    return build_undirected(n, list(G.edges())), G
+
+
+@pytest.fixture
+def small_graph():
+    """A fixed 12-vertex graph with a known clique structure."""
+    edges = [
+        (0, 1), (0, 2), (1, 2), (2, 3),  # triangle 0-1-2 + tail
+        (3, 4), (4, 5), (5, 6), (6, 3), (3, 5), (4, 6),  # K4 on 3..6
+        (7, 8), (8, 9), (9, 7),  # triangle 7-8-9
+        (10, 11),  # isolated edge
+    ]
+    return build_undirected(12, edges)
+
+
+@pytest.fixture
+def karate():
+    """Zachary's karate club — the classic community-structure graph."""
+    G = nx.karate_club_graph()
+    return build_undirected(G.number_of_nodes(), list(G.edges())), G

@@ -1,0 +1,114 @@
+"""Maximal clique listing: all BK variants vs oracles and invariants."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitSet, HashSet, RoaringSet, SortedSet
+from repro.graph import build_undirected
+from repro.graph import generators as gen
+from repro.mining import BK_VARIANTS, bk_das, bron_kerbosch, run_bk_variant
+from tests.conftest import random_csr
+
+
+def nx_cliques(G):
+    return sorted(sorted(c) for c in nx.find_cliques(G))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", BK_VARIANTS)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, variant, seed):
+        csr, G = random_csr(45, 220, seed)
+        res = run_bk_variant(csr, variant, collect=True)
+        assert sorted(sorted(c) for c in res.cliques) == nx_cliques(G)
+        assert res.num_cliques == len(res.cliques)
+
+    def test_all_set_classes_agree(self, set_cls):
+        csr, G = random_csr(40, 220, 9)
+        res = bron_kerbosch(csr, "ADG", set_cls, collect=True)
+        assert sorted(sorted(c) for c in res.cliques) == nx_cliques(G)
+
+    def test_subgraph_opt_equivalent(self):
+        csr, G = random_csr(40, 260, 5)
+        plain = bron_kerbosch(csr, "ADG", BitSet, subgraph_opt=False)
+        sub = bron_kerbosch(csr, "ADG", BitSet, subgraph_opt=True)
+        assert plain.num_cliques == sub.num_cliques
+
+    def test_unknown_variant(self):
+        csr, _ = random_csr(5, 5, 1)
+        with pytest.raises(ValueError, match="unknown BK variant"):
+            run_bk_variant(csr, "BK-NOPE")
+
+
+class TestInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), m=st.integers(0, 180))
+    def test_cliques_are_maximal_and_unique(self, seed, m):
+        csr, G = random_csr(30, m, seed)
+        res = bron_kerbosch(csr, "ADG", BitSet, collect=True)
+        seen = set()
+        for clique in res.cliques:
+            key = frozenset(clique)
+            assert key not in seen, "duplicate maximal clique"
+            seen.add(key)
+            # Clique property.
+            for i, u in enumerate(clique):
+                for v in clique[i + 1 :]:
+                    assert G.has_edge(u, v)
+            # Maximality: no vertex adjacent to the whole clique.
+            for w in G.nodes():
+                if w in key:
+                    continue
+                assert not all(G.has_edge(w, u) for u in clique)
+
+    def test_isolated_vertices_are_cliques(self):
+        g = build_undirected(3, [])
+        res = bron_kerbosch(g, "DEG", BitSet, collect=True)
+        assert sorted(res.cliques) == [[0], [1], [2]]
+
+    def test_empty_graph(self):
+        g = build_undirected(0, [])
+        assert bron_kerbosch(g, "DEG", BitSet).num_cliques == 0
+
+    def test_single_clique_graph(self):
+        n = 9
+        g = build_undirected(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        res = bron_kerbosch(g, "ADG", BitSet, collect=True)
+        assert res.num_cliques == 1
+        assert res.max_clique_size == n
+
+    def test_disjoint_cliques_counted_exactly(self):
+        g = gen.star_of_cliques(5, 4)
+        res = bron_kerbosch(g, "DGR", BitSet)
+        assert res.num_cliques == 4
+
+
+class TestInstrumentation:
+    def test_task_costs_cover_all_vertices(self):
+        csr, _ = random_csr(30, 120, 2)
+        res = bron_kerbosch(csr, "ADG", BitSet)
+        assert len(res.task_costs) == 30
+        assert res.mine_seconds >= 0
+        assert res.reorder_seconds >= 0
+
+    def test_throughput_metric(self):
+        csr, _ = random_csr(30, 120, 3)
+        res = bron_kerbosch(csr, "ADG", BitSet)
+        assert res.throughput() > 0
+        assert res.total_seconds == res.reorder_seconds + res.mine_seconds
+
+    def test_adg_rounds_recorded(self):
+        csr, _ = random_csr(100, 400, 4)
+        res = bron_kerbosch(csr, "ADG", BitSet)
+        assert 1 < res.ordering_rounds < 100
+
+    def test_das_uses_degeneracy(self):
+        csr, _ = random_csr(30, 120, 5)
+        res = bk_das(csr)
+        assert res.variant == "BK-DAS"
+        assert res.ordering_rounds == 30  # sequential peeling: n rounds

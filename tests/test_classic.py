@@ -1,0 +1,139 @@
+"""Classic algorithms for the Table 8 representation study."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bellman_ford,
+    betweenness_centrality,
+    bfs_distances,
+    boman_coloring,
+    build_undirected,
+    delta_stepping,
+    pagerank,
+)
+from repro.optimization import verify_coloring
+from tests.conftest import random_csr
+
+
+class TestBFS:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_distances_match_networkx(self, seed):
+        csr, G = random_csr(40, 100, seed)
+        dist = bfs_distances(csr, 0)
+        nx_dist = nx.single_source_shortest_path_length(G, 0)
+        for v in range(40):
+            if v in nx_dist:
+                assert dist[v] == nx_dist[v]
+            else:
+                assert dist[v] == -1
+
+
+class TestSSSP:
+    def _weighted(self, seed):
+        csr, G = random_csr(30, 90, seed)
+        rng = np.random.default_rng(seed)
+        weights = {}
+        for u, v in csr.edges():
+            w = float(rng.uniform(0.5, 4.0))
+            weights[(u, v)] = w
+            G[u][v]["weight"] = w
+        return csr, G, weights
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_bellman_ford_matches_dijkstra(self, seed):
+        csr, G, weights = self._weighted(seed)
+        dist = bellman_ford(csr, 0, weights)
+        nx_dist = nx.single_source_dijkstra_path_length(G, 0)
+        for v in range(30):
+            if v in nx_dist:
+                assert abs(dist[v] - nx_dist[v]) < 1e-9
+            else:
+                assert math.isinf(dist[v])
+
+    @pytest.mark.parametrize("delta", [0.5, 1.0, 5.0])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_delta_stepping_matches_dijkstra(self, seed, delta):
+        csr, G, weights = self._weighted(seed)
+        dist = delta_stepping(csr, 0, delta, weights)
+        nx_dist = nx.single_source_dijkstra_path_length(G, 0)
+        for v in range(30):
+            if v in nx_dist:
+                assert abs(dist[v] - nx_dist[v]) < 1e-9, (v, delta)
+            else:
+                assert math.isinf(dist[v])
+
+    def test_delta_validation(self):
+        csr, _ = random_csr(5, 6, 0)
+        with pytest.raises(ValueError):
+            delta_stepping(csr, 0, delta=0)
+
+    def test_unweighted_defaults(self):
+        csr, G = random_csr(20, 50, 7)
+        bf = bellman_ford(csr, 0)
+        bfs = bfs_distances(csr, 0)
+        for v in range(20):
+            if bfs[v] >= 0:
+                assert bf[v] == bfs[v]
+
+
+class TestPageRank:
+    @pytest.mark.parametrize("mode", ["pull", "push"])
+    def test_matches_networkx(self, mode):
+        csr, G = random_csr(40, 160, 9)
+        ours = pagerank(csr, mode=mode, iterations=100)
+        theirs = nx.pagerank(G, alpha=0.85, max_iter=200, tol=1e-12)
+        for v in range(40):
+            assert abs(ours[v] - theirs[v]) < 1e-4
+
+    def test_push_equals_pull(self):
+        csr, _ = random_csr(40, 160, 10)
+        a = pagerank(csr, mode="pull", iterations=60)
+        b = pagerank(csr, mode="push", iterations=60)
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_stochastic(self):
+        csr, _ = random_csr(30, 80, 11)
+        assert abs(pagerank(csr).sum() - 1.0) < 1e-8
+
+    def test_bad_mode(self):
+        csr, _ = random_csr(5, 6, 0)
+        with pytest.raises(ValueError):
+            pagerank(csr, mode="sideways")
+
+    def test_empty(self):
+        assert len(pagerank(build_undirected(0, []))) == 0
+
+
+class TestBetweenness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        csr, G = random_csr(25, 70, seed)
+        ours = betweenness_centrality(csr)
+        theirs = nx.betweenness_centrality(G, normalized=False)
+        for v in range(25):
+            assert abs(ours[v] - theirs[v]) < 1e-9
+
+    def test_star_center_dominates(self):
+        csr = build_undirected(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        bc = betweenness_centrality(csr)
+        assert bc[0] == 6.0  # C(4,2) pairs route through the hub
+        assert np.all(bc[1:] == 0)
+
+
+class TestBomanColoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_proper(self, seed):
+        csr, _ = random_csr(50, 220, seed)
+        colors = boman_coloring(csr)
+        assert verify_coloring(csr, colors)
+
+    def test_bounded_by_max_degree(self):
+        csr, _ = random_csr(50, 220, 5)
+        colors = boman_coloring(csr)
+        assert colors.max() <= csr.max_degree()

@@ -1,0 +1,57 @@
+"""The ``python -m repro`` command-line driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_datasets_listing(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "gearbox-mini" in out
+    assert "mirrors" in out
+
+
+def test_stats(capsys):
+    assert main(["stats", "usa-roads-mini"]) == 0
+    assert "m/n" in capsys.readouterr().out
+
+
+def test_bk(capsys):
+    assert main(["bk", "sc-ht-mini", "--variant", "BK-GMS-ADG"]) == 0
+    out = capsys.readouterr().out
+    assert "maximal cliques" in out
+    assert "throughput" in out
+
+
+def test_bk_with_set_class(capsys):
+    assert main(["bk", "sc-ht-mini", "--set-class", "roaring"]) == 0
+
+
+def test_kclique(capsys):
+    assert main(["kclique", "sc-ht-mini", "-k", "3"]) == 0
+    assert "3-cliques" in capsys.readouterr().out
+
+
+def test_similarity(capsys):
+    assert main(["similarity", "sc-ht-mini"]) == 0
+    out = capsys.readouterr().out
+    assert "jaccard" in out and "eff" in out
+
+
+@pytest.mark.parametrize("method", ["JP-SL", "Johansson"])
+def test_color(capsys, method):
+    assert main(["color", "usa-roads-mini", "--method", method]) == 0
+    assert "proper: True" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError):
+        main(["stats", "not-a-dataset"])

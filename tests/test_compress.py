@@ -1,0 +1,248 @@
+"""Compression subsystem: round-trips, storage wins, graph equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import (
+    CompactOffsets,
+    K2Tree,
+    LogGraph,
+    SelectBitvector,
+    bfs_relabel,
+    bits_needed,
+    decode_array,
+    decode_varint,
+    degree_minimizing_relabel,
+    encode_array,
+    encode_varint,
+    gap_decode,
+    gap_encode,
+    pack_bits,
+    reference_decode,
+    reference_encode,
+    rle_decode,
+    rle_encode,
+    shingle_relabel,
+    unpack_bits,
+)
+from repro.graph import generators as gen
+from repro.graph import permute
+from tests.conftest import random_csr
+
+sorted_unique = st.lists(
+    st.integers(min_value=0, max_value=10_000), max_size=50
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 1 << 20, 1 << 40])
+    def test_single_roundtrip(self, value):
+        data = encode_varint(value)
+        got, off = decode_varint(data)
+        assert got == value and off == len(data)
+
+    def test_small_values_one_byte(self):
+        assert len(encode_varint(127)) == 1
+        assert len(encode_varint(128)) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varint(b"\x80")
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=sorted_unique)
+    def test_array_roundtrip(self, values):
+        assert np.array_equal(decode_array(encode_array(values), len(values)),
+                              values)
+
+    def test_trailing_bytes_rejected(self):
+        data = encode_array([1, 2, 3]) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_array(data, 3)
+
+
+class TestGap:
+    @settings(max_examples=40, deadline=None)
+    @given(values=sorted_unique)
+    def test_roundtrip(self, values):
+        assert np.array_equal(gap_decode(gap_encode(values)), values)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            gap_encode(np.array([3, 1]))
+
+    def test_gaps_small_for_dense_ids(self):
+        arr = np.arange(100, 200, dtype=np.int64)
+        gaps = gap_encode(arr)
+        assert gaps[1:].max() == 1
+
+
+class TestBitpack:
+    @settings(max_examples=40, deadline=None)
+    @given(values=sorted_unique)
+    def test_roundtrip(self, values):
+        width = bits_needed(int(values.max()) if len(values) else 1)
+        packed = pack_bits(values, width)
+        assert np.array_equal(unpack_bits(packed, width, len(values)), values)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([256]), 8)
+
+    def test_packing_saves_space(self):
+        values = np.arange(1000, dtype=np.int64)
+        packed = pack_bits(values, bits_needed(999))
+        assert len(packed) < values.nbytes / 4
+
+
+class TestOffsets:
+    def test_matches_plain_offsets(self):
+        csr, _ = random_csr(60, 240, 1)
+        co = CompactOffsets(csr.offsets)
+        for v in range(60):
+            assert co.offset(v) == csr.offsets[v]
+            assert co.degree(v) == csr.out_degree(v)
+
+    def test_out_of_range(self):
+        co = CompactOffsets(np.array([0, 2, 4]))
+        with pytest.raises(IndexError):
+            co.offset(5)
+
+    def test_storage_below_plain(self):
+        csr, _ = random_csr(500, 1000, 2)
+        co = CompactOffsets(csr.offsets)
+        assert co.storage_bits() < 64 * (csr.num_nodes + 1)
+
+    def test_select_bitvector_rank(self):
+        bits = np.array([1, 0, 0, 1, 1, 0, 1], dtype=np.uint8)
+        bv = SelectBitvector(bits, sample_rate=2)
+        assert [bv.rank1(i) for i in range(8)] == [0, 1, 1, 1, 2, 3, 3, 4]
+        assert [bv.select1(k) for k in range(4)] == [0, 3, 4, 6]
+
+
+class TestLogGraph:
+    @pytest.mark.parametrize("encoding", ["bitpack", "varint-gap"])
+    def test_roundtrip(self, encoding):
+        g = gen.holme_kim(150, 4, 0.3, seed=3)
+        lg = LogGraph(g, encoding)
+        assert lg.to_csr() == g
+        assert lg.num_nodes == g.num_nodes
+        assert lg.num_edges == g.num_edges
+
+    @pytest.mark.parametrize("encoding", ["bitpack", "varint-gap"])
+    def test_accesses(self, encoding):
+        g = gen.erdos_renyi_nm(80, 300, seed=4)
+        lg = LogGraph(g, encoding)
+        for v in (0, 10, 79):
+            assert np.array_equal(lg.out_neigh(v), g.out_neigh(v))
+            assert lg.out_degree(v) == g.out_degree(v)
+        u, v = next(iter(g.edges()))
+        assert lg.has_edge(u, v)
+        assert not lg.has_edge(0, 0)
+
+    def test_compression_wins(self):
+        g = gen.erdos_renyi_nm(400, 3000, seed=5)
+        assert LogGraph(g, "bitpack").storage_bytes() < g.storage_bytes()
+
+    def test_mining_on_loggraph(self):
+        """Algorithms run unchanged on the compressed representation."""
+        from repro.core import BitSet
+        from repro.mining import bron_kerbosch
+
+        g = gen.erdos_renyi_nm(60, 350, seed=6)
+        lg = LogGraph(g)
+        direct = bron_kerbosch(g, "DEG", BitSet)
+        via_roundtrip = bron_kerbosch(lg.to_csr(), "DEG", BitSet)
+        assert direct.num_cliques == via_roundtrip.num_cliques
+
+    def test_bad_encoding(self):
+        g = gen.erdos_renyi_nm(10, 20, seed=7)
+        with pytest.raises(ValueError):
+            LogGraph(g, "bogus")
+
+
+class TestK2Tree:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_has_edge_equivalence(self, k):
+        csr, G = random_csr(33, 140, 8)
+        tree = K2Tree(csr, k=k)
+        for u in range(33):
+            assert np.array_equal(tree.out_neigh(u), csr.out_neigh(u))
+
+    def test_out_of_range_queries(self):
+        csr, _ = random_csr(10, 20, 9)
+        tree = K2Tree(csr)
+        assert not tree.has_edge(-1, 0)
+        assert not tree.has_edge(0, 100)
+
+    def test_sparse_graph_compresses(self):
+        g = gen.road_grid(16, 16)
+        tree = K2Tree(g)
+        assert tree.storage_bits() < 64 * 2 * g.num_edges
+
+    def test_k_validation(self):
+        csr, _ = random_csr(5, 6, 10)
+        with pytest.raises(ValueError):
+            K2Tree(csr, k=1)
+
+
+class TestRLEReference:
+    @settings(max_examples=30, deadline=None)
+    @given(values=sorted_unique)
+    def test_rle_roundtrip(self, values):
+        assert np.array_equal(rle_decode(rle_encode(values)), values)
+
+    def test_rle_compresses_runs(self):
+        assert len(rle_encode(np.arange(1000))) == 1
+
+    def test_reference_roundtrip_similar(self):
+        a = np.array([1, 2, 3, 5, 9])
+        b = np.array([1, 2, 3, 5, 10])
+        enc = reference_encode(a, b, reference_vertex=7)
+        assert enc.reference_vertex == 7
+        assert np.array_equal(reference_decode(enc, b), a)
+
+    def test_reference_fallback_dissimilar(self):
+        a = np.array([1, 2, 3])
+        b = np.array([100, 200, 300])
+        enc = reference_encode(a, b, reference_vertex=7)
+        assert enc.reference_vertex is None
+        assert np.array_equal(reference_decode(enc, None), a)
+
+
+class TestRelabel:
+    @pytest.mark.parametrize(
+        "fn", [degree_minimizing_relabel, bfs_relabel, shingle_relabel]
+    )
+    def test_is_permutation_preserving_structure(self, fn):
+        csr, _ = random_csr(50, 200, 11)
+        perm = fn(csr)
+        assert sorted(perm.tolist()) == list(range(50))
+        g2 = permute(csr, perm)
+        assert g2.num_edges == csr.num_edges
+        assert sorted(g2.degrees()) == sorted(csr.degrees())
+
+    def test_degree_minimizing_gives_small_ids_to_hubs(self):
+        csr, _ = random_csr(50, 200, 12)
+        perm = degree_minimizing_relabel(csr)
+        hub = int(np.argmax(csr.degrees()))
+        assert perm[hub] == 0
+
+    def test_bfs_relabel_locality(self):
+        g = gen.road_grid(8, 8)
+        perm = bfs_relabel(g)
+        g2 = permute(g, perm)
+        gaps = []
+        for v in range(g2.num_nodes):
+            neigh = g2.out_neigh(v)
+            if len(neigh):
+                gaps.append(np.abs(neigh - v).mean())
+        assert np.mean(gaps) < g.num_nodes / 3

@@ -1,0 +1,116 @@
+"""CompressedSortedSet representation and the TurboISO solver."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from networkx.algorithms import isomorphism as nxiso
+
+from repro.core import CompressedSortedSet, SortedSet, get_set_class
+from repro.graph import build_undirected
+from repro.isomorphism import nec_classes, turboiso_count, vf2_count
+from tests.conftest import random_csr
+
+
+class TestCompressedSortedSet:
+    def test_registered(self):
+        assert get_set_class("compressed") is CompressedSortedSet
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.lists(st.integers(0, 100_000), max_size=40),
+           b=st.lists(st.integers(0, 100_000), max_size=40))
+    def test_ops_match_reference(self, a, b):
+        ca = CompressedSortedSet.from_iterable(a)
+        cb = CompressedSortedSet.from_iterable(b)
+        assert set(ca.intersect(cb)) == set(a) & set(b)
+        assert set(ca.union(cb)) == set(a) | set(b)
+        assert set(ca.diff(cb)) == set(a) - set(b)
+        assert ca.intersect_count(cb) == len(set(a) & set(b))
+
+    def test_mutations_recompress(self):
+        s = CompressedSortedSet.from_iterable([10, 20, 30])
+        s.add(25)
+        s.remove(10)
+        assert list(s) == [20, 25, 30]
+        # Round-trip through the blob (drop the decode cache first).
+        s.drop_cache()
+        assert list(s) == [20, 25, 30]
+
+    def test_storage_beats_plain_for_clustered_ids(self):
+        values = np.arange(1000, 1600)
+        comp = CompressedSortedSet.from_sorted_array(values)
+        assert comp.storage_bytes() < values.nbytes / 4
+
+    def test_mining_with_compressed_sets(self):
+        from repro.mining import bron_kerbosch
+
+        csr, G = random_csr(35, 170, 3)
+        res = bron_kerbosch(csr, "ADG", CompressedSortedSet, collect=True)
+        expect = sorted(sorted(c) for c in nx.find_cliques(G))
+        assert sorted(sorted(c) for c in res.cliques) == expect
+
+    def test_clone_independent(self):
+        s = CompressedSortedSet.from_iterable([1, 2])
+        c = s.clone()
+        c.add(3)
+        assert list(s) == [1, 2]
+
+    def test_mixed_class_ops(self):
+        a = CompressedSortedSet.from_iterable([1, 2, 3])
+        b = SortedSet.from_iterable([2, 3, 4])
+        assert list(a.intersect(b)) == [2, 3]
+
+
+class TestTurboISO:
+    QUERIES = {
+        "path4": nx.path_graph(4),
+        "star3": nx.star_graph(3),
+        "cycle4": nx.cycle_graph(4),
+        "triangle": nx.complete_graph(3),
+        "clique4": nx.complete_graph(4),
+    }
+
+    @pytest.mark.parametrize("qname", sorted(QUERIES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx_monomorphisms(self, qname, seed):
+        T = nx.gnp_random_graph(16, 0.3, seed=seed)
+        Q = self.QUERIES[qname]
+        tc = build_undirected(16, list(T.edges()))
+        qc = build_undirected(Q.number_of_nodes(), list(Q.edges()))
+        matcher = nxiso.GraphMatcher(T, Q)
+        expect = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+        assert turboiso_count(tc, qc) == expect
+
+    def test_labeled(self):
+        T = nx.gnp_random_graph(14, 0.35, seed=4)
+        tl = np.array([v % 2 for v in range(14)])
+        Q = nx.path_graph(3)
+        ql = np.array([0, 1, 0])
+        tc = build_undirected(14, list(T.edges()))
+        qc = build_undirected(3, list(Q.edges()))
+        expect = vf2_count(tc, qc, induced=False, target_labels=tl,
+                           query_labels=ql)
+        got = turboiso_count(tc, qc, target_labels=tl, query_labels=ql)
+        assert got == expect
+
+    def test_nec_groups_star_leaves(self):
+        star = build_undirected(4, [(0, 1), (0, 2), (0, 3)])
+        classes = sorted(nec_classes(star), key=len)
+        assert classes == [[0], [1, 2, 3]]
+
+    def test_nec_distinguishes_labeled_leaves(self):
+        star = build_undirected(3, [(0, 1), (0, 2)])
+        classes = nec_classes(star, query_labels=np.array([0, 1, 2]))
+        assert all(len(c) == 1 for c in classes)
+
+    def test_empty_query(self):
+        tc = build_undirected(3, [(0, 1)])
+        assert turboiso_count(tc, build_undirected(0, [])) == 1
+
+    def test_impossible_query(self):
+        tc = build_undirected(3, [(0, 1)])
+        qc = build_undirected(3, [(0, 1), (1, 2), (0, 2)])
+        assert turboiso_count(tc, qc) == 0

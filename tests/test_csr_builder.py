@@ -1,0 +1,105 @@
+"""CSR representation and graph construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BitSet
+from repro.graph import CSRGraph, build_directed, build_undirected
+
+
+class TestBuildUndirected:
+    def test_basic(self):
+        g = build_undirected(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+        assert g.num_directed_edges == 6
+        assert g.out_neigh(1).tolist() == [0, 2]
+
+    def test_drops_self_loops(self):
+        g = build_undirected(3, [(0, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_drops_duplicates_and_reversed_duplicates(self):
+        g = build_undirected(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_empty(self):
+        g = build_undirected(0, [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+    def test_isolated_vertices(self):
+        g = build_undirected(5, [(0, 1)])
+        assert g.out_degree(4) == 0
+        assert g.out_neigh(4).tolist() == []
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="endpoints"):
+            build_undirected(3, [(0, 5)])
+        with pytest.raises(ValueError, match="endpoints"):
+            build_undirected(3, [(-1, 0)])
+
+    def test_accepts_numpy_array(self):
+        arr = np.array([[0, 1], [1, 2]], dtype=np.int64)
+        assert build_undirected(3, arr).num_edges == 2
+
+    def test_rejects_bad_array_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            build_undirected(3, np.zeros((2, 3), dtype=np.int64))
+
+
+class TestBuildDirected:
+    def test_arcs_one_way(self):
+        g = build_directed(3, [(0, 1), (1, 2)])
+        assert g.directed
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+
+class TestAccessors:
+    def test_degrees_and_max(self, small_graph):
+        degrees = small_graph.degrees()
+        assert degrees.sum() == small_graph.num_directed_edges
+        assert small_graph.max_degree() == degrees.max()
+
+    def test_has_edge(self, small_graph):
+        assert small_graph.has_edge(0, 1)
+        assert small_graph.has_edge(1, 0)
+        assert not small_graph.has_edge(0, 11)
+
+    def test_edges_iterates_each_once(self, small_graph):
+        edges = list(small_graph.edges())
+        assert len(edges) == small_graph.num_edges
+        assert all(u < v for u, v in edges)
+
+    def test_edge_array_matches_edges(self, small_graph):
+        arr = small_graph.edge_array()
+        assert sorted(map(tuple, arr.tolist())) == sorted(small_graph.edges())
+
+    def test_neighborhood_set_bridge(self, small_graph):
+        s = small_graph.neighborhood_set(3, BitSet)
+        assert set(s) == set(small_graph.out_neigh(3).tolist())
+
+    def test_storage_bytes_positive(self, small_graph):
+        assert small_graph.storage_bytes() > 0
+
+    def test_equality(self):
+        a = build_undirected(3, [(0, 1)])
+        b = build_undirected(3, [(0, 1)])
+        c = build_undirected(3, [(0, 2)])
+        assert a == b
+        assert a != c
+
+
+class TestValidation:
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="start at 0"):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_offsets_must_cover_adjacency(self):
+        with pytest.raises(ValueError, match="end at"):
+            CSRGraph(np.array([0, 1]), np.array([0, 1]))

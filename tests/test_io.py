@@ -1,0 +1,78 @@
+"""Edge-list and npz I/O, including malformed-input failure injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    build_undirected,
+    load_npz,
+    read_edge_list,
+    save_npz,
+    write_edge_list,
+)
+
+
+def test_roundtrip(tmp_path):
+    g = build_undirected(5, [(0, 1), (1, 2), (3, 4)])
+    path = tmp_path / "g.el"
+    write_edge_list(g, path)
+    g2 = read_edge_list(path, num_nodes=5)
+    assert g2 == g
+
+
+def test_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "g.el"
+    path.write_text("# SNAP header\n% KONECT header\n\n0 1\n1 2\n")
+    g = read_edge_list(path)
+    assert g.num_nodes == 3
+    assert g.num_edges == 2
+
+
+def test_extra_columns_tolerated(tmp_path):
+    path = tmp_path / "g.el"
+    path.write_text("0 1 3.5\n1 2 7\n")
+    assert read_edge_list(path).num_edges == 2
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "bad.el"
+    path.write_text("0\n")
+    with pytest.raises(ValueError, match="expected 'u v'"):
+        read_edge_list(path)
+
+
+def test_non_integer_rejected(tmp_path):
+    path = tmp_path / "bad.el"
+    path.write_text("a b\n")
+    with pytest.raises(ValueError, match="non-integer"):
+        read_edge_list(path)
+
+
+def test_negative_id_rejected(tmp_path):
+    path = tmp_path / "bad.el"
+    path.write_text("-1 2\n")
+    with pytest.raises(ValueError, match="negative"):
+        read_edge_list(path)
+
+
+def test_directed_read(tmp_path):
+    path = tmp_path / "g.el"
+    path.write_text("0 1\n")
+    g = read_edge_list(path, directed=True)
+    assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+
+def test_npz_roundtrip(tmp_path):
+    g = build_undirected(6, [(0, 1), (2, 3), (4, 5)])
+    path = tmp_path / "g.npz"
+    save_npz(g, path)
+    assert load_npz(path) == g
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.el"
+    path.write_text("")
+    g = read_edge_list(path)
+    assert g.num_nodes == 0

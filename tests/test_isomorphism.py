@@ -1,0 +1,148 @@
+"""Subgraph isomorphism: VF2, VF3-Light, Glasgow vs the networkx oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from networkx.algorithms import isomorphism as nxiso
+
+from repro.graph import build_undirected
+from repro.isomorphism import (
+    connectivity_order,
+    glasgow_count,
+    rarity_order,
+    vf2_count,
+    vf2_embeddings,
+    vf3light_count,
+    vf3light_embeddings,
+)
+from tests.conftest import random_csr
+
+QUERIES = {
+    "path4": nx.path_graph(4),
+    "cycle4": nx.cycle_graph(4),
+    "triangle": nx.complete_graph(3),
+    "star3": nx.star_graph(3),
+    "diamond": nx.Graph([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]),
+}
+
+
+def to_csr(G):
+    return build_undirected(G.number_of_nodes(), list(G.edges()))
+
+
+def nx_count(T, Q, induced):
+    matcher = nxiso.GraphMatcher(T, Q)
+    it = (
+        matcher.subgraph_isomorphisms_iter()
+        if induced
+        else matcher.subgraph_monomorphisms_iter()
+    )
+    return sum(1 for _ in it)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("qname", sorted(QUERIES))
+    @pytest.mark.parametrize("induced", [True, False])
+    def test_all_solvers(self, qname, induced):
+        T = nx.gnp_random_graph(22, 0.25, seed=42)
+        Q = QUERIES[qname]
+        tc, qc = to_csr(T), to_csr(Q)
+        expect = nx_count(T, Q, induced)
+        assert vf2_count(tc, qc, induced=induced) == expect
+        assert vf3light_count(tc, qc, induced=induced) == expect
+        assert glasgow_count(tc, qc, induced=induced) == expect
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_targets(self, seed):
+        T = nx.gnp_random_graph(18, 0.3, seed=seed)
+        Q = nx.path_graph(4)
+        tc, qc = to_csr(T), to_csr(Q)
+        expect = nx_count(T, Q, False)
+        assert vf2_count(tc, qc, induced=False) == expect
+        assert vf3light_count(tc, qc, induced=False) == expect
+
+
+class TestLabels:
+    def test_labeled_counting(self):
+        T = nx.gnp_random_graph(16, 0.35, seed=1)
+        tl = np.array([v % 3 for v in range(16)])
+        Q = nx.path_graph(3)
+        ql = np.array([0, 1, 2])
+        for v in T.nodes():
+            T.nodes[v]["l"] = int(tl[v])
+        QG = Q.copy()
+        for v in QG.nodes():
+            QG.nodes[v]["l"] = int(ql[v])
+        matcher = nxiso.GraphMatcher(
+            T, QG, node_match=lambda a, b: a["l"] == b["l"]
+        )
+        expect = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+        tc, qc = to_csr(T), to_csr(Q)
+        assert vf2_count(tc, qc, induced=False, target_labels=tl,
+                         query_labels=ql) == expect
+        assert vf3light_count(tc, qc, induced=False, target_labels=tl,
+                              query_labels=ql) == expect
+
+    def test_impossible_labels_find_nothing(self):
+        T = nx.complete_graph(5)
+        tc = to_csr(T)
+        qc = to_csr(nx.path_graph(2))
+        assert (
+            vf2_count(tc, qc, target_labels=np.zeros(5, dtype=int),
+                      query_labels=np.array([1, 1])) == 0
+        )
+
+
+class TestMechanics:
+    def test_embeddings_are_valid_maps(self):
+        T = nx.gnp_random_graph(15, 0.3, seed=2)
+        Q = nx.cycle_graph(4)
+        tc, qc = to_csr(T), to_csr(Q)
+        for mapping in vf2_embeddings(tc, qc, induced=False):
+            assert len(set(mapping)) == 4  # injective
+            for u, v in Q.edges():
+                assert T.has_edge(mapping[u], mapping[v])
+
+    def test_limit(self):
+        T = nx.complete_graph(8)
+        tc, qc = to_csr(T), to_csr(nx.path_graph(3))
+        assert vf2_count(tc, qc, limit=5) == 5
+
+    def test_roots_partition_the_search(self):
+        """Work splitting: per-root counts sum to the total (section 6.4)."""
+        T = nx.gnp_random_graph(14, 0.35, seed=3)
+        Q = nx.path_graph(4)
+        tc, qc = to_csr(T), to_csr(Q)
+        total = vf3light_count(tc, qc, induced=True)
+        split = sum(
+            sum(1 for _ in vf3light_embeddings(tc, qc, induced=True, roots=[r]))
+            for r in range(14)
+        )
+        assert split == total
+
+    def test_connectivity_order_property(self):
+        qc = to_csr(nx.path_graph(5))
+        order = connectivity_order(qc)
+        seen = {order[0]}
+        for v in order[1:]:
+            assert any(u in seen for u in qc.out_neigh(v).tolist())
+            seen.add(v)
+
+    def test_rarity_order_is_permutation(self):
+        qc = to_csr(nx.cycle_graph(5))
+        order = rarity_order(qc, [3, 1, 4, 1, 5])
+        assert sorted(order) == list(range(5))
+
+    def test_empty_query_matches_once(self):
+        tc = to_csr(nx.path_graph(3))
+        qc = build_undirected(0, [])
+        assert vf2_count(tc, qc) == 1
+
+    def test_query_larger_than_target(self):
+        tc = to_csr(nx.path_graph(3))
+        qc = to_csr(nx.complete_graph(5))
+        assert vf2_count(tc, qc) == 0
+        assert vf3light_count(tc, qc) == 0
+        assert glasgow_count(tc, qc) == 0

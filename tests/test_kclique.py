@@ -1,0 +1,90 @@
+"""k-clique listing/counting and its comparison baselines."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import build_undirected
+from repro.graph import generators as gen
+from repro.mining import (
+    danisch_kclique_count,
+    framework_kclique_count,
+    gbbs_kclique_count,
+    kclique_count,
+    kclique_list,
+)
+from tests.conftest import random_csr
+
+
+def nx_kclique_count(G, k):
+    return sum(1 for c in nx.enumerate_all_cliques(G) if len(c) == k)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("parallel", ["node", "edge"])
+    def test_matches_networkx(self, k, parallel):
+        csr, G = random_csr(35, 190, 11)
+        assert kclique_count(csr, k, "DGR", parallel).count == nx_kclique_count(G, k)
+
+    @pytest.mark.parametrize("ordering", ["DEG", "DGR", "ADG", "ID"])
+    def test_ordering_invariant(self, ordering):
+        csr, G = random_csr(35, 190, 12)
+        assert kclique_count(csr, 4, ordering).count == nx_kclique_count(G, 4)
+
+    def test_k3_equals_triangles(self):
+        csr, G = random_csr(40, 200, 13)
+        assert kclique_count(csr, 3).count == sum(nx.triangles(G).values()) // 3
+
+    def test_complete_graph_closed_form(self):
+        from math import comb
+
+        n = 9
+        g = build_undirected(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        for k in (3, 4, 5):
+            assert kclique_count(g, k).count == comb(n, k)
+
+    def test_invalid_k(self):
+        csr, _ = random_csr(5, 5, 1)
+        with pytest.raises(ValueError):
+            kclique_count(csr, 1)
+        with pytest.raises(ValueError):
+            kclique_count(csr, 3, parallel="bogus")
+
+    def test_no_cliques_graph(self):
+        g = gen.road_grid(6, 6)
+        assert kclique_count(g, 3).count == 0
+
+
+class TestList:
+    def test_list_matches_count_and_dedupes(self):
+        csr, G = random_csr(30, 160, 14)
+        lst = kclique_list(csr, 4)
+        assert len(lst) == nx_kclique_count(G, 4)
+        assert len({tuple(c) for c in lst}) == len(lst)
+        for c in lst:
+            for i, u in enumerate(c):
+                for v in c[i + 1 :]:
+                    assert G.has_edge(u, v)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_all_baselines_agree(self, k):
+        csr, G = random_csr(30, 170, 15)
+        expect = nx_kclique_count(G, k)
+        assert gbbs_kclique_count(csr, k).count == expect
+        assert danisch_kclique_count(csr, k).count == expect
+        assert framework_kclique_count(csr, k).count == expect
+
+    def test_framework_guard(self):
+        csr, _ = random_csr(30, 170, 16)
+        with pytest.raises(MemoryError):
+            framework_kclique_count(csr, 4, max_embeddings=1)
+
+    def test_task_costs_recorded(self):
+        csr, _ = random_csr(30, 170, 17)
+        res = kclique_count(csr, 4, parallel="edge")
+        assert len(res.task_costs) == csr.num_edges
+        assert res.throughput() >= 0

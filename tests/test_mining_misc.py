@@ -1,0 +1,193 @@
+"""Triangles, k-cores, k-clique-stars, densest subgraph, FSM."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitSet, SortedSet
+from repro.graph import build_undirected
+from repro.graph import generators as gen
+from repro.mining import (
+    approx_core_numbers,
+    canonical_form,
+    core_histogram,
+    core_numbers,
+    densest_subgraph,
+    frequent_subgraphs,
+    k_core,
+    kclique_star_count,
+    kclique_stars,
+    mni_support,
+    triangle_count_node_iterator,
+    triangle_count_rank_merge,
+)
+from tests.conftest import random_csr
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_both_schemes_match_networkx(self, seed):
+        csr, G = random_csr(50, 260, seed)
+        expect = sum(nx.triangles(G).values()) // 3
+        assert triangle_count_node_iterator(csr) == expect
+        assert triangle_count_rank_merge(csr) == expect
+
+    def test_set_class_paths(self, set_cls):
+        csr, G = random_csr(30, 140, 5)
+        expect = sum(nx.triangles(G).values()) // 3
+        assert triangle_count_node_iterator(csr, set_cls) == expect
+        assert triangle_count_rank_merge(csr, set_cls) == expect
+
+
+class TestKCore:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_networkx(self, k):
+        csr, G = random_csr(60, 240, 6)
+        sub, members = k_core(csr, k)
+        nx_core = nx.k_core(G, k)
+        assert set(members.tolist()) == set(nx_core.nodes())
+        assert sub.num_edges == nx_core.number_of_edges()
+
+    def test_above_degeneracy_empty(self):
+        csr, G = random_csr(30, 60, 7)
+        _, members = k_core(csr, 50)
+        assert len(members) == 0
+
+    def test_histogram_sums_to_n(self):
+        csr, _ = random_csr(40, 160, 8)
+        hist = core_histogram(csr)
+        assert sum(c for _, c in hist) == 40
+
+    def test_approx_vs_exact(self):
+        csr, _ = random_csr(80, 400, 9)
+        exact = core_numbers(csr)
+        approx = approx_core_numbers(csr, eps=0.5)
+        assert np.all(approx >= exact / 2.0 - 1e-9)
+
+
+class TestKCliqueStars:
+    def test_stars_complete_to_k_plus_1_cliques(self):
+        csr, G = random_csr(25, 110, 10)
+        for clique, star in kclique_stars(csr, 3):
+            for s in star:
+                assert all(G.has_edge(s, c) for c in clique)
+
+    def test_brute_force_equivalence(self):
+        csr, G = random_csr(16, 60, 11)
+        got = {
+            (tuple(c), tuple(sorted(s))) for c, s in kclique_stars(csr, 3)
+        }
+        expect = set()
+        for trio in combinations(range(16), 3):
+            if all(G.has_edge(a, b) for a, b in combinations(trio, 2)):
+                star = [
+                    w
+                    for w in G.nodes()
+                    if w not in trio and all(G.has_edge(w, c) for c in trio)
+                ]
+                if star:
+                    expect.add((trio, tuple(sorted(star))))
+        assert got == expect
+
+    def test_min_star_filter(self):
+        csr, _ = random_csr(20, 80, 12)
+        assert kclique_star_count(csr, 3, min_star=2) <= kclique_star_count(
+            csr, 3, min_star=1
+        )
+
+    def test_invalid_k(self):
+        csr, _ = random_csr(5, 5, 1)
+        with pytest.raises(ValueError):
+            kclique_stars(csr, 1)
+
+
+class TestDensest:
+    def test_half_approximation(self):
+        csr, G = random_csr(13, 36, 13)
+        verts, density = densest_subgraph(csr)
+        best = 0.0
+        for r in range(1, 14):
+            for S in combinations(range(13), r):
+                sub = G.subgraph(S)
+                best = max(best, sub.number_of_edges() / len(S))
+        assert best / 2 - 1e-9 <= density <= best + 1e-9
+
+    def test_returned_set_has_claimed_density(self):
+        csr, G = random_csr(30, 120, 14)
+        verts, density = densest_subgraph(csr)
+        sub = G.subgraph(verts.tolist())
+        assert abs(sub.number_of_edges() / len(verts) - density) < 1e-9
+
+    def test_planted_dense_core_found(self):
+        g = gen.planted_cliques(60, 40, [(10, 1)], seed=15)
+        verts, density = densest_subgraph(g)
+        assert density >= (10 - 1) / 2 * 0.9  # near-clique density
+
+    def test_empty(self):
+        verts, density = densest_subgraph(build_undirected(0, []))
+        assert density == 0.0
+
+
+class TestFSM:
+    def test_edge_pattern_support(self):
+        g = build_undirected(4, [(0, 1), (1, 2), (2, 3)])
+        support, count = mni_support(g, 2, ((0, 1),))
+        assert support == 4  # every vertex appears as an endpoint
+        assert count == 6  # 3 edges x 2 orientations
+
+    def test_bfs_and_dfs_agree(self):
+        g = gen.holme_kim(40, 3, 0.5, seed=16)
+        bfs = frequent_subgraphs(g, min_support=5, max_edges=3, strategy="bfs")
+        dfs = frequent_subgraphs(g, min_support=5, max_edges=3, strategy="dfs")
+        canon = lambda ps: {canonical_form(p.num_vertices, p.edges) for p in ps}
+        assert canon(bfs) == canon(dfs)
+
+    def test_support_antimonotone(self):
+        g = gen.holme_kim(40, 3, 0.5, seed=17)
+        patterns = frequent_subgraphs(g, min_support=3, max_edges=3)
+        by_canon = {
+            canonical_form(p.num_vertices, p.edges): p.support for p in patterns
+        }
+        tri = canonical_form(3, ((0, 1), (1, 2), (0, 2)))
+        edge = canonical_form(2, ((0, 1),))
+        if tri in by_canon:
+            assert by_canon[tri] <= by_canon[edge]
+
+    def test_triangle_pattern_found_in_triangle_graph(self):
+        g = build_undirected(3, [(0, 1), (1, 2), (0, 2)])
+        patterns = frequent_subgraphs(g, min_support=3, max_edges=3)
+        canons = {canonical_form(p.num_vertices, p.edges) for p in patterns}
+        assert canonical_form(3, ((0, 1), (1, 2), (0, 2))) in canons
+
+    def test_threshold_prunes(self):
+        g = build_undirected(3, [(0, 1), (1, 2), (0, 2)])
+        assert frequent_subgraphs(g, min_support=100) == []
+
+    def test_invalid_strategy(self):
+        g = build_undirected(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            frequent_subgraphs(g, 1, strategy="bogus")
+
+
+class TestCanonicalForm:
+    @settings(max_examples=25, deadline=None)
+    @given(perm_seed=st.integers(0, 1000))
+    def test_invariant_under_relabeling(self, perm_seed):
+        rng = np.random.default_rng(perm_seed)
+        edges = ((0, 1), (1, 2), (2, 3), (0, 3))
+        perm = rng.permutation(4)
+        relabeled = tuple(
+            (min(perm[u], perm[v]), max(perm[u], perm[v])) for u, v in edges
+        )
+        assert canonical_form(4, edges) == canonical_form(4, relabeled)
+
+    def test_distinguishes_path_from_star(self):
+        path = ((0, 1), (1, 2), (2, 3))
+        star = ((0, 1), (0, 2), (0, 3))
+        assert canonical_form(4, path) != canonical_form(4, star)

@@ -1,0 +1,66 @@
+"""Merge/galloping kernels and the software performance counters."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    COUNTERS,
+    SortedSet,
+    diff_merge,
+    intersect_count_galloping,
+    intersect_count_merge,
+    intersect_galloping,
+    intersect_merge,
+    reset,
+    snapshot,
+    union_merge,
+)
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=500), max_size=40
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=sorted_arrays, b=sorted_arrays)
+def test_galloping_equals_merge(a, b):
+    assert np.array_equal(intersect_galloping(a, b), intersect_merge(a, b))
+    assert intersect_count_galloping(a, b) == intersect_count_merge(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=sorted_arrays, b=sorted_arrays)
+def test_union_diff_kernels(a, b):
+    assert set(union_merge(a, b)) == set(a) | set(b)
+    assert set(diff_merge(a, b)) == set(a) - set(b)
+
+
+def test_galloping_skewed_sizes():
+    small = np.array([5, 500_000], dtype=np.int64)
+    large = np.arange(0, 1_000_000, 5, dtype=np.int64)
+    assert intersect_galloping(small, large).tolist() == [5, 500000]
+
+
+def test_counters_accumulate_and_snapshot():
+    reset()
+    before = snapshot()
+    a = SortedSet.from_iterable([1, 2, 3])
+    b = SortedSet.from_iterable([2, 3, 4])
+    a.intersect(b)
+    a.contains(1)
+    after = snapshot()
+    delta = before.delta(after)
+    assert delta.set_ops == 1
+    assert delta.point_ops == 1
+    assert delta.elements_read >= 6
+    assert delta.memory_traffic == delta.elements_read + delta.elements_written
+
+
+def test_counters_reset():
+    COUNTERS.record_bulk(10, 5)
+    reset()
+    assert COUNTERS.set_ops == 0
+    assert COUNTERS.memory_traffic == 0

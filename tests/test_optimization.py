@@ -1,0 +1,139 @@
+"""Graph coloring, Borůvka MST, Karger–Stein min cut."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_undirected
+from repro.optimization import (
+    boruvka,
+    contract_once,
+    johansson,
+    jones_plassmann,
+    karger_stein,
+    verify_coloring,
+)
+from repro.preprocess import degeneracy_order
+from tests.conftest import random_csr
+
+
+class TestColoring:
+    @pytest.mark.parametrize("priority", ["random", "FF", "LF", "SL"])
+    def test_jp_proper(self, priority):
+        csr, _ = random_csr(60, 260, 31)
+        res = jones_plassmann(csr, priority, seed=1)
+        assert verify_coloring(csr, res.colors)
+        assert res.rounds >= 1
+
+    def test_jp_sl_respects_degeneracy_bound(self):
+        """SL (degeneracy) priorities color with ≤ d + 1 colors."""
+        for seed in range(3):
+            csr, _ = random_csr(60, 300, seed)
+            _, d = degeneracy_order(csr)
+            res = jones_plassmann(csr, "SL")
+            assert res.num_colors <= d + 1
+
+    def test_johansson_proper(self):
+        csr, _ = random_csr(50, 220, 32)
+        res = johansson(csr, seed=2)
+        assert verify_coloring(csr, res.colors)
+        assert res.num_colors <= csr.max_degree() + 1
+
+    def test_bipartite_graph_two_colors(self):
+        G = nx.complete_bipartite_graph(5, 7)
+        csr = build_undirected(12, list(G.edges()))
+        res = jones_plassmann(csr, "SL")
+        assert res.num_colors == 2
+
+    def test_verify_rejects_bad_coloring(self):
+        csr = build_undirected(2, [(0, 1)])
+        assert not verify_coloring(csr, np.array([0, 0]))
+        assert not verify_coloring(csr, np.array([-1, 0]))
+        assert not verify_coloring(csr, np.array([0]))
+
+    def test_unknown_priority(self):
+        csr, _ = random_csr(5, 6, 33)
+        with pytest.raises(ValueError):
+            jones_plassmann(csr, "bogus")
+
+    def test_empty_graph(self):
+        res = jones_plassmann(build_undirected(0, []), "random")
+        assert res.num_colors == 0
+
+
+class TestBoruvka:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_weight_matches_networkx(self, seed):
+        csr, G = random_csr(30, 90, seed)
+        edge_arr = csr.edge_array()
+        rng = np.random.default_rng(seed)
+        w = rng.random(len(edge_arr)) * 10 + 1
+        res = boruvka(csr, w)
+        for (u, v), wt in zip(edge_arr.tolist(), w.tolist()):
+            G[u][v]["weight"] = wt
+        expect = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_edges(G, data=True)
+        )
+        assert abs(res.total_weight - expect) < 1e-9
+
+    def test_forest_size_and_components(self):
+        csr, G = random_csr(40, 100, 34)
+        res = boruvka(csr)
+        n_comp = nx.number_connected_components(G)
+        assert len(res.edges) == 40 - n_comp
+        assert res.num_components == n_comp
+
+    def test_logarithmic_rounds(self):
+        csr, _ = random_csr(128, 700, 35)
+        res = boruvka(csr)
+        assert res.rounds <= 9  # ~log2(128) + slack
+
+    def test_weight_alignment_validated(self):
+        csr, _ = random_csr(10, 20, 36)
+        with pytest.raises(ValueError):
+            boruvka(csr, np.ones(3))
+
+    def test_acyclic(self):
+        csr, _ = random_csr(25, 80, 37)
+        res = boruvka(csr)
+        F = nx.Graph(res.edges)
+        assert nx.is_forest(F)
+
+
+class TestMinCut:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_stoer_wagner(self, seed):
+        G = nx.gnm_random_graph(14, 34, seed=seed)
+        if not nx.is_connected(G):
+            pytest.skip("disconnected sample")
+        csr = build_undirected(14, list(G.edges()))
+        expect, _ = nx.stoer_wagner(G)
+        assert karger_stein(csr, seed=seed) == expect
+
+    def test_disconnected_graph_cut_zero(self):
+        csr = build_undirected(4, [(0, 1), (2, 3)])
+        assert karger_stein(csr) == 0
+
+    def test_single_contraction_upper_bounds(self):
+        csr, G = random_csr(12, 30, 38)
+        if nx.is_connected(G):
+            cut, _ = nx.stoer_wagner(G)
+            assert contract_once(csr, seed=1) >= cut
+
+    def test_tiny_graphs(self):
+        assert karger_stein(build_undirected(1, [])) == 0
+        assert karger_stein(build_undirected(2, [(0, 1)])) == 1
+
+    def test_bridge_graph(self):
+        # Two K4s joined by one bridge: min cut = 1.
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        edges += [(i + 4, j + 4) for i in range(4) for j in range(i + 1, 4)]
+        edges.append((0, 4))
+        csr = build_undirected(8, edges)
+        assert karger_stein(csr, seed=3) == 1

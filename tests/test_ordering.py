@@ -1,0 +1,155 @@
+"""Vertex reordering schemes: DEG, DGR, ADG, TRI (paper section 6.1)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_undirected
+from repro.preprocess import (
+    ORDERINGS,
+    approx_coreness,
+    approx_degeneracy_order,
+    compute_ordering,
+    coreness,
+    degeneracy_order,
+    degree_order,
+    identity_order,
+    random_order,
+    triangle_count_order,
+)
+from tests.conftest import random_csr
+
+
+class TestDegreeOrder:
+    def test_non_decreasing(self):
+        csr, _ = random_csr(40, 150, 0)
+        res = degree_order(csr)
+        degs = csr.degrees()[res.order]
+        assert all(degs[i] <= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_rank_is_inverse(self):
+        csr, _ = random_csr(40, 150, 1)
+        res = degree_order(csr)
+        assert np.array_equal(res.rank[res.order], np.arange(40))
+
+
+class TestExactDegeneracy:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx(self, seed):
+        csr, G = random_csr(60, 200, seed)
+        _, d = degeneracy_order(csr)
+        assert d == max(nx.core_number(G).values())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_coreness_matches_networkx(self, seed):
+        csr, G = random_csr(60, 200, seed)
+        cores = coreness(csr)
+        nx_cores = nx.core_number(G)
+        assert all(cores[v] == nx_cores[v] for v in G)
+
+    def test_degeneracy_order_property(self):
+        # Every vertex has at most d neighbors later in the order.
+        csr, _ = random_csr(50, 250, 7)
+        order, d = degeneracy_order(csr)
+        rank = np.empty(50, dtype=np.int64)
+        rank[order] = np.arange(50)
+        for v in range(50):
+            later = int((rank[csr.out_neigh(v)] > rank[v]).sum())
+            assert later <= d
+
+    def test_clique_degeneracy(self):
+        n = 8
+        g = build_undirected(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        _, d = degeneracy_order(g)
+        assert d == n - 1
+
+    def test_empty_graph(self):
+        order, d = degeneracy_order(build_undirected(0, []))
+        assert len(order) == 0 and d == 0
+
+    def test_edgeless_graph(self):
+        order, d = degeneracy_order(build_undirected(5, []))
+        assert sorted(order.tolist()) == list(range(5)) and d == 0
+
+
+class TestADG:
+    @pytest.mark.parametrize("eps", [0.01, 0.1, 0.5, 1.0])
+    def test_is_approximate_degeneracy_order(self, eps):
+        """Every vertex has ≤ 2(1+ε)·d later-ranked neighbors (paper §6.1)."""
+        csr, _ = random_csr(80, 400, 3)
+        _, d = degeneracy_order(csr)
+        res = approx_degeneracy_order(csr, eps=eps)
+        rank = res.rank
+        for v in range(80):
+            later = int((rank[csr.out_neigh(v)] > rank[v]).sum())
+            assert later <= math.ceil(2 * (1 + eps) * max(d, 1))
+
+    def test_logarithmic_rounds(self):
+        csr, _ = random_csr(500, 2500, 4)
+        res = approx_degeneracy_order(csr, eps=0.5)
+        # O(log n) rounds: generous constant.
+        assert res.rounds <= 6 * math.log2(500)
+
+    def test_smaller_eps_more_rounds(self):
+        csr, _ = random_csr(300, 1500, 5)
+        r_small = approx_degeneracy_order(csr, eps=0.01).rounds
+        r_large = approx_degeneracy_order(csr, eps=1.0).rounds
+        assert r_small >= r_large
+
+    def test_rejects_negative_eps(self):
+        csr, _ = random_csr(10, 20, 6)
+        with pytest.raises(ValueError):
+            approx_degeneracy_order(csr, eps=-0.5)
+
+    def test_orders_all_vertices(self):
+        csr, _ = random_csr(70, 300, 7)
+        res = approx_degeneracy_order(csr)
+        assert sorted(res.order.tolist()) == list(range(70))
+
+    def test_approx_coreness_bounds(self):
+        """Lower bound c(v)/2 per vertex; upper bound (1+ε)·d globally."""
+        csr, _ = random_csr(100, 500, 8)
+        exact = coreness(csr)
+        _, d = degeneracy_order(csr)
+        eps = 0.5
+        approx = approx_coreness(csr, eps=eps)
+        for v in range(100):
+            assert approx[v] >= exact[v] / 2.0 - 1e-9
+            assert approx[v] <= (1 + eps) * d + 1e-9
+
+
+class TestOtherOrderings:
+    def test_triangle_order_sorted_by_counts(self):
+        csr, G = random_csr(40, 160, 9)
+        res = triangle_count_order(csr)
+        tri = nx.triangles(G)
+        counts = [tri[v] for v in res.order.tolist()]
+        assert counts == sorted(counts)
+
+    def test_identity(self):
+        csr, _ = random_csr(10, 20, 10)
+        assert identity_order(csr).order.tolist() == list(range(10))
+
+    def test_random_is_permutation(self):
+        csr, _ = random_csr(30, 60, 11)
+        res = random_order(csr, seed=3)
+        assert sorted(res.order.tolist()) == list(range(30))
+
+
+class TestRegistry:
+    def test_compute_ordering_dispatch(self):
+        csr, _ = random_csr(20, 40, 12)
+        for name in ORDERINGS:
+            res = compute_ordering(csr, name)
+            assert res.name == name or name in ("ADG",)
+
+    def test_unknown_ordering(self):
+        csr, _ = random_csr(5, 5, 13)
+        with pytest.raises(KeyError, match="unknown ordering"):
+            compute_ordering(csr, "nope")

@@ -1,0 +1,94 @@
+"""Property-based tests over randomly generated graphs (hypothesis)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import LogGraph
+from repro.core import BitSet
+from repro.graph import (
+    build_undirected,
+    orient_by_rank,
+    permute,
+    total_triangles,
+)
+from repro.mining import kclique_count
+from repro.preprocess import degeneracy_order
+
+N = 20
+edge_lists = st.lists(
+    st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)), max_size=60
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edges=edge_lists)
+def test_builder_invariants(edges):
+    g = build_undirected(N, edges)
+    # Neighborhoods are sorted and duplicate-free.
+    for v in range(N):
+        neigh = g.out_neigh(v)
+        assert np.all(np.diff(neigh) > 0)
+        assert v not in neigh.tolist()  # no self-loops survive
+    # Symmetry: (u, v) stored iff (v, u) stored.
+    for u in range(N):
+        for v in g.out_neigh(u).tolist():
+            assert g.has_edge(v, u)
+    # Handshake lemma.
+    assert g.degrees().sum() == 2 * g.num_edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_lists, seed=st.integers(0, 2**31 - 1))
+def test_permutation_preserves_mining_results(edges, seed):
+    g = build_undirected(N, edges)
+    perm = np.random.default_rng(seed).permutation(N)
+    g2 = permute(g, perm)
+    assert total_triangles(g2) == total_triangles(g)
+    assert degeneracy_order(g2)[1] == degeneracy_order(g)[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(edges=edge_lists, seed=st.integers(0, 2**31 - 1))
+def test_orientation_partitions_edges(edges, seed):
+    g = build_undirected(N, edges)
+    rank = np.random.default_rng(seed).permutation(N)
+    dag = orient_by_rank(g, rank)
+    assert dag.num_edges == g.num_edges
+    # No arc and its reverse both present.
+    for u in range(N):
+        for v in dag.out_neigh(u).tolist():
+            assert not dag.has_edge(v, u)
+
+
+@settings(max_examples=25, deadline=None)
+@given(edges=edge_lists)
+def test_loggraph_roundtrip_arbitrary(edges):
+    g = build_undirected(N, edges)
+    for encoding in ("bitpack", "varint-gap"):
+        assert LogGraph(g, encoding).to_csr() == g
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=edge_lists, k=st.integers(3, 5))
+def test_kclique_matches_networkx_randomized(edges, k):
+    g = build_undirected(N, edges)
+    G = nx.Graph(list(g.edges()))
+    G.add_nodes_from(range(N))
+    expect = sum(1 for c in nx.enumerate_all_cliques(G) if len(c) == k)
+    assert kclique_count(g, k, "DGR", "edge").count == expect
+
+
+@settings(max_examples=15, deadline=None)
+@given(edges=edge_lists)
+def test_bk_count_equals_networkx_randomized(edges):
+    from repro.mining import bron_kerbosch
+
+    g = build_undirected(N, edges)
+    G = nx.Graph(list(g.edges()))
+    G.add_nodes_from(range(N))
+    expect = sum(1 for _ in nx.find_cliques(G))
+    assert bron_kerbosch(g, "ADG", BitSet).num_cliques == expect

@@ -1,0 +1,111 @@
+"""RoaringSet container mechanics: thresholds, runs, chunk boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ARRAY_CONTAINER_MAX, RoaringSet
+
+
+def test_array_container_below_threshold():
+    s = RoaringSet.from_iterable(range(ARRAY_CONTAINER_MAX))
+    assert s.container_kinds() == {"a": 1}
+
+
+def test_bitmap_container_above_threshold():
+    s = RoaringSet.from_iterable(range(ARRAY_CONTAINER_MAX + 1))
+    assert s.container_kinds() == {"b": 1}
+
+
+def test_container_downgrade_on_remove():
+    s = RoaringSet.from_iterable(range(ARRAY_CONTAINER_MAX + 1))
+    s.remove(0)
+    assert s.container_kinds() == {"a": 1}
+    assert s.cardinality() == ARRAY_CONTAINER_MAX
+
+
+def test_container_upgrade_on_add():
+    s = RoaringSet.from_iterable(range(ARRAY_CONTAINER_MAX))
+    s.add(ARRAY_CONTAINER_MAX)
+    assert s.container_kinds() == {"b": 1}
+
+
+def test_chunk_boundaries():
+    values = [65535, 65536, 65537, 131071, 131072]
+    s = RoaringSet.from_iterable(values)
+    assert len(s._chunks) == 3
+    assert list(s) == values
+    for v in values:
+        assert s.contains(v)
+    assert not s.contains(65538)
+
+
+def test_run_optimize_consecutive():
+    s = RoaringSet.from_iterable(range(100_000))
+    s.run_optimize()
+    kinds = s.container_kinds()
+    assert kinds.get("r", 0) >= 1
+    assert s.cardinality() == 100_000
+    assert s.contains(54_321)
+    assert not s.contains(100_000)
+
+
+def test_run_container_participates_in_ops():
+    s = RoaringSet.from_iterable(range(70_000))
+    s.run_optimize()
+    other = RoaringSet.from_iterable(range(60_000, 80_000))
+    inter = s.intersect(other)
+    assert inter.cardinality() == 10_000
+    union = s.union(other)
+    assert union.cardinality() == 80_000
+    diff = s.diff(other)
+    assert diff.cardinality() == 60_000
+
+
+def test_run_container_point_ops():
+    s = RoaringSet.from_iterable(range(70_000))
+    s.run_optimize()
+    s.add(100_000)
+    s.remove(0)
+    assert not s.contains(0)
+    assert s.contains(100_000)
+    assert s.cardinality() == 70_000
+
+
+def test_storage_bytes_reflects_compression():
+    dense_run = RoaringSet.from_iterable(range(60_000))
+    dense_run.run_optimize()
+    scattered = RoaringSet.from_iterable(range(0, 120_000, 2))
+    assert dense_run.storage_bytes() < scattered.storage_bytes()
+
+
+def test_empty_chunks_are_dropped():
+    s = RoaringSet.from_iterable([5, 70_000])
+    s.remove(70_000)
+    assert len(s._chunks) == 1
+    s.remove(5)
+    assert len(s._chunks) == 0
+    assert s.is_empty()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=1 << 20), max_size=50
+    )
+)
+def test_roaring_roundtrip_across_chunks(values):
+    s = RoaringSet.from_iterable(values)
+    assert list(s) == sorted(set(values))
+    s.run_optimize()
+    assert list(s) == sorted(set(values))
+
+
+def test_clone_deep_copies_containers():
+    s = RoaringSet.from_iterable([1, 2, 3])
+    c = s.clone()
+    c.add(4)
+    assert not s.contains(4)

@@ -1,0 +1,181 @@
+"""Work–depth tracker, scheduler simulation, PAPI facade, metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SortedSet
+from repro.runtime import (
+    PAPIW,
+    StallModel,
+    Timer,
+    WorkDepthTracker,
+    algorithmic_throughput,
+    bootstrap_ci,
+    measure,
+    peak_memory_bytes,
+    simulate_makespan,
+    speedup_curve,
+)
+
+task_lists = st.lists(
+    st.floats(min_value=0.001, max_value=10.0, allow_nan=False), min_size=1,
+    max_size=40,
+)
+
+
+class TestWorkDepth:
+    def test_sequential_accumulates_both(self):
+        t = WorkDepthTracker()
+        t.sequential(5)
+        t.sequential(3)
+        rep = t.report()
+        assert rep.work == 8 and rep.depth == 8
+
+    def test_parallel_for_depth_is_max_plus_log(self):
+        t = WorkDepthTracker()
+        t.parallel_for([1, 2, 7])
+        rep = t.report()
+        assert rep.work == 10
+        assert rep.depth == pytest.approx(7 + math.log2(4))
+        assert rep.num_tasks == 3
+
+    def test_runtime_estimate_brent(self):
+        t = WorkDepthTracker()
+        t.parallel_for([1.0] * 100)
+        rep = t.report()
+        assert rep.runtime_estimate(1) >= rep.runtime_estimate(10)
+        assert rep.runtime_estimate(10) >= rep.depth
+        assert rep.speedup_estimate(16) <= 16.0
+        with pytest.raises(ValueError):
+            rep.runtime_estimate(0)
+
+    def test_parallel_rounds(self):
+        t = WorkDepthTracker()
+        t.parallel_rounds([[1, 1], [2]])
+        assert t.report().num_tasks == 3
+
+
+class TestScheduler:
+    @settings(max_examples=30, deadline=None)
+    @given(tasks=task_lists, p=st.integers(1, 32))
+    def test_makespan_bounds(self, tasks, p):
+        """Greedy schedules satisfy max(W/p, max_task) ≤ T ≤ W/p + max."""
+        total = sum(tasks)
+        longest = max(tasks)
+        for policy in ("static", "dynamic", "stealing"):
+            t = simulate_makespan(tasks, p, policy)
+            overhead = 0.06 * (total / len(tasks)) * len(tasks)  # stealing pad
+            assert t >= total / p - 1e-9
+            assert t >= longest - 1e-9 or policy == "static"
+            assert t <= total + overhead + 1e-9
+
+    def test_single_thread_is_total(self):
+        assert simulate_makespan([1, 2, 3], 1) == 6
+
+    def test_dynamic_beats_static_on_skew(self):
+        tasks = [10.0] + [0.1] * 39
+        assert simulate_makespan(tasks, 4, "dynamic") <= simulate_makespan(
+            tasks, 4, "static"
+        )
+
+    def test_stealing_pays_more_overhead_than_dynamic(self):
+        tasks = [1.0] * 64
+        assert simulate_makespan(tasks, 8, "stealing") >= simulate_makespan(
+            tasks, 8, "dynamic"
+        )
+
+    def test_empty_tasks(self):
+        assert simulate_makespan([], 4) == 0.0
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            simulate_makespan([1], 0)
+        with pytest.raises(ValueError):
+            simulate_makespan([1], 2, "bogus")
+
+    def test_speedup_curve_monotone(self):
+        tasks = [1.0] * 128
+        curve = speedup_curve(tasks, [1, 2, 4, 8])
+        assert curve[0] == pytest.approx(1.0, rel=0.05)
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_amdahl_fraction_caps_speedup(self):
+        tasks = [1.0] * 64
+        capped = speedup_curve(tasks, [64], sequential_fraction=1.0)[0]
+        assert capped < 2.1  # ~2x max with 50% sequential
+
+
+class TestPAPI:
+    def test_start_stop_records_set_ops(self):
+        PAPIW.INIT_PARALLEL()
+        PAPIW.START()
+        a = SortedSet.from_iterable(range(100))
+        b = SortedSet.from_iterable(range(50, 150))
+        a.intersect(b)
+        m = PAPIW.STOP()
+        assert m.set_ops >= 1
+        assert m.memory_traffic > 0
+        assert m.wall_seconds >= 0
+        assert PAPIW.last() is m
+
+    def test_stop_without_start(self):
+        PAPIW.INIT_PARALLEL()
+        with pytest.raises(RuntimeError):
+            PAPIW.STOP()
+
+    def test_stall_model_monotone_in_threads(self):
+        from repro.runtime.papi import Measurement
+
+        m = Measurement(10, 10, 100_000, 50_000, 0.1)
+        model = StallModel()
+        prev_count, prev_ratio = 0.0, 0.0
+        for p in (1, 2, 4, 8, 16, 32):
+            count, ratio = model.stalled_cycles(m, p)
+            assert count >= prev_count
+            assert ratio >= prev_ratio
+            assert 0 <= ratio < 1
+            prev_count, prev_ratio = count, ratio
+
+    def test_runtime_scale_flattens(self):
+        from repro.runtime.papi import Measurement
+
+        m = Measurement(10, 10, 100_000, 50_000, 0.1)
+        model = StallModel(bandwidth_knee=4)
+        s8 = model.runtime_scale(m, 8)
+        s32 = model.runtime_scale(m, 32)
+        # Beyond the knee extra threads barely help.
+        assert s8 / s32 < 2.5
+
+
+class TestMetrics:
+    def test_timer(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.seconds >= 0
+
+    def test_measure_runs_warmup_and_repeats(self):
+        calls = []
+        res = measure(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(res.samples) == 3
+        assert res.ci_low <= res.mean <= res.ci_high
+
+    def test_throughput(self):
+        assert algorithmic_throughput(100, 2.0) == 50.0
+        assert algorithmic_throughput(0, 0.0) == 0.0
+        assert algorithmic_throughput(5, 0.0) == float("inf")
+
+    def test_bootstrap_ci_contains_mean_of_constant(self):
+        lo, hi = bootstrap_ci([3.0, 3.0, 3.0])
+        assert lo == hi == 3.0
+
+    def test_peak_memory(self):
+        result, peak = peak_memory_bytes(lambda: np.zeros(300_000))
+        assert peak >= 300_000 * 8
+        assert len(result) == 300_000

@@ -1,0 +1,182 @@
+"""Unit tests of the Listing-1 Set interface across all representations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BitSet, HashSet, RoaringSet, SortedSet, get_set_class
+
+
+class TestConstructors:
+    def test_empty(self, set_cls):
+        s = set_cls.empty()
+        assert s.cardinality() == 0
+        assert s.is_empty()
+        assert not s
+        assert list(s) == []
+
+    def test_single(self, set_cls):
+        s = set_cls.single(7)
+        assert list(s) == [7]
+        assert s.cardinality() == 1
+
+    def test_range(self, set_cls):
+        assert list(set_cls.range(5)) == [0, 1, 2, 3, 4]
+        assert list(set_cls.range(0)) == []
+
+    def test_from_iterable_dedupes(self, set_cls):
+        s = set_cls.from_iterable([3, 1, 3, 2, 1])
+        assert list(s) == [1, 2, 3]
+
+    def test_from_sorted_array(self, set_cls):
+        arr = np.array([2, 5, 9], dtype=np.int64)
+        s = set_cls.from_sorted_array(arr)
+        assert list(s) == [2, 5, 9]
+
+    def test_from_vector_list(self, set_cls):
+        # The paper's constructor from a std::vector — a Python list here.
+        s = set_cls.from_iterable([10, 20, 30])
+        assert s.cardinality() == 3
+
+
+class TestAlgebra:
+    A = [1, 3, 5, 7, 9]
+    B = [3, 4, 5, 6]
+
+    def make(self, set_cls, values):
+        return set_cls.from_iterable(values)
+
+    def test_intersect(self, set_cls):
+        a, b = self.make(set_cls, self.A), self.make(set_cls, self.B)
+        assert list(a.intersect(b)) == [3, 5]
+        # operands unchanged
+        assert list(a) == self.A
+        assert list(b) == sorted(self.B)
+
+    def test_intersect_count(self, set_cls):
+        a, b = self.make(set_cls, self.A), self.make(set_cls, self.B)
+        assert a.intersect_count(b) == 2
+
+    def test_union(self, set_cls):
+        a, b = self.make(set_cls, self.A), self.make(set_cls, self.B)
+        assert list(a.union(b)) == [1, 3, 4, 5, 6, 7, 9]
+
+    def test_union_count(self, set_cls):
+        a, b = self.make(set_cls, self.A), self.make(set_cls, self.B)
+        assert a.union_count(b) == 7
+
+    def test_diff(self, set_cls):
+        a, b = self.make(set_cls, self.A), self.make(set_cls, self.B)
+        assert list(a.diff(b)) == [1, 7, 9]
+        assert list(b.diff(a)) == [4, 6]
+
+    def test_inplace_variants(self, set_cls):
+        a = self.make(set_cls, self.A)
+        a.intersect_inplace(self.make(set_cls, self.B))
+        assert list(a) == [3, 5]
+        a.union_inplace(self.make(set_cls, [99]))
+        assert list(a) == [3, 5, 99]
+        a.diff_inplace(self.make(set_cls, [5]))
+        assert list(a) == [3, 99]
+
+    def test_element_overloads(self, set_cls):
+        a = self.make(set_cls, self.A)
+        assert list(a.diff_element(3)) == [1, 5, 7, 9]
+        assert list(a.union_element(2)) == [1, 2, 3, 5, 7, 9]
+        assert list(a) == self.A  # non-mutating overloads
+
+    def test_operators(self, set_cls):
+        a, b = self.make(set_cls, self.A), self.make(set_cls, self.B)
+        assert list(a & b) == [3, 5]
+        assert list(a | b) == [1, 3, 4, 5, 6, 7, 9]
+        assert list(a - b) == [1, 7, 9]
+
+    def test_empty_operand(self, set_cls):
+        a = self.make(set_cls, self.A)
+        e = set_cls.empty()
+        assert list(a.intersect(e)) == []
+        assert list(a.union(e)) == self.A
+        assert list(a.diff(e)) == self.A
+        assert list(e.diff(a)) == []
+
+
+class TestPointOps:
+    def test_contains(self, set_cls):
+        s = set_cls.from_iterable([2, 4, 6])
+        assert s.contains(4)
+        assert not s.contains(5)
+        assert 4 in s
+        assert 5 not in s
+
+    def test_add_remove(self, set_cls):
+        s = set_cls.from_iterable([1, 3])
+        s.add(2)
+        assert list(s) == [1, 2, 3]
+        s.add(2)  # idempotent
+        assert list(s) == [1, 2, 3]
+        s.remove(1)
+        assert list(s) == [2, 3]
+        s.remove(99)  # absent: no-op, like Listing 1's semantics
+        assert list(s) == [2, 3]
+
+    def test_len_protocol(self, set_cls):
+        assert len(set_cls.from_iterable([5, 6])) == 2
+
+
+class TestOtherMethods:
+    def test_clone_is_independent(self, set_cls):
+        a = set_cls.from_iterable([1, 2, 3])
+        b = a.clone()
+        b.add(9)
+        assert list(a) == [1, 2, 3]
+        assert list(b) == [1, 2, 3, 9]
+
+    def test_to_array(self, set_cls):
+        arr = set_cls.from_iterable([5, 1, 9]).to_array()
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 5, 9]
+
+    def test_equality(self, set_cls):
+        a = set_cls.from_iterable([1, 2])
+        b = set_cls.from_iterable([2, 1])
+        c = set_cls.from_iterable([1, 3])
+        assert a == b
+        assert a != c
+        assert a != "not a set"
+
+    def test_cross_class_equality(self):
+        a = SortedSet.from_iterable([1, 2, 3])
+        b = BitSet.from_iterable([1, 2, 3])
+        assert a == b
+
+    def test_repr_is_readable(self, set_cls):
+        assert "1" in repr(set_cls.from_iterable([1]))
+
+
+class TestMixedRepresentations:
+    """Binary ops accept a set of any other class (implicit conversion)."""
+
+    @pytest.mark.parametrize("other_cls", [SortedSet, BitSet, RoaringSet, HashSet])
+    def test_mixed_intersect(self, set_cls, other_cls):
+        a = set_cls.from_iterable([1, 2, 3, 4])
+        b = other_cls.from_iterable([3, 4, 5])
+        assert list(a.intersect(b)) == [3, 4]
+        assert list(a.union(b)) == [1, 2, 3, 4, 5]
+        assert list(a.diff(b)) == [1, 2]
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_set_class("sorted") is SortedSet
+        assert get_set_class("roaring") is RoaringSet
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown set class"):
+            get_set_class("nope")
+
+    def test_register_rejects_non_set(self):
+        from repro.core import register_set_class
+
+        with pytest.raises(TypeError):
+            register_set_class("bad", int)

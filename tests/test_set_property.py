@@ -1,0 +1,91 @@
+"""Property-based tests: every representation agrees with Python's set."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BitSet,
+    CompressedSortedSet,
+    HashSet,
+    RoaringSet,
+    SortedSet,
+)
+
+CLASSES = [SortedSet, BitSet, RoaringSet, HashSet, CompressedSortedSet]
+
+elements = st.integers(min_value=0, max_value=200_000)
+element_lists = st.lists(elements, max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=element_lists, b=element_lists)
+def test_binary_ops_match_python_sets(a, b):
+    ref_a, ref_b = set(a), set(b)
+    for cls in CLASSES:
+        sa, sb = cls.from_iterable(a), cls.from_iterable(b)
+        assert set(sa.intersect(sb)) == ref_a & ref_b
+        assert set(sa.union(sb)) == ref_a | ref_b
+        assert set(sa.diff(sb)) == ref_a - ref_b
+        assert sa.intersect_count(sb) == len(ref_a & ref_b)
+        assert sa.union_count(sb) == len(ref_a | ref_b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=element_lists, probe=elements)
+def test_contains_matches(values, probe):
+    ref = set(values)
+    for cls in CLASSES:
+        s = cls.from_iterable(values)
+        assert s.contains(probe) == (probe in ref)
+        assert s.cardinality() == len(ref)
+
+
+# A random op sequence applied to all representations stays in lockstep.
+op = st.sampled_from(["add", "remove", "union_inplace", "diff_inplace",
+                      "intersect_inplace"])
+ops = st.lists(st.tuples(op, element_lists), max_size=12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(initial=element_lists, sequence=ops)
+def test_op_sequences_stay_in_lockstep(initial, sequence):
+    ref = set(initial)
+    sets = {cls: cls.from_iterable(initial) for cls in CLASSES}
+    for name, payload in sequence:
+        if name == "add":
+            x = payload[0] if payload else 0
+            ref.add(x)
+            for s in sets.values():
+                s.add(x)
+        elif name == "remove":
+            x = payload[0] if payload else 0
+            ref.discard(x)
+            for s in sets.values():
+                s.remove(x)
+        else:
+            other_ref = set(payload)
+            if name == "union_inplace":
+                ref |= other_ref
+            elif name == "diff_inplace":
+                ref -= other_ref
+            else:
+                ref &= other_ref
+            for cls, s in sets.items():
+                getattr(s, name)(cls.from_iterable(payload))
+        for cls, s in sets.items():
+            assert set(s) == ref, (cls.__name__, name)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=element_lists)
+def test_iteration_is_sorted_and_to_array_roundtrips(values):
+    for cls in CLASSES:
+        s = cls.from_iterable(values)
+        out = list(s)
+        assert out == sorted(set(values))
+        assert np.array_equal(s.to_array(), np.array(out, dtype=np.int64))
+        # Rebuilding from to_array reproduces the set.
+        assert cls.from_sorted_array(s.to_array()) == s

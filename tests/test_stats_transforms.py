@@ -1,0 +1,122 @@
+"""Graph statistics (Table 7 columns) and transformations."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    build_undirected,
+    induced_subgraph,
+    orient_by_rank,
+    permute,
+    split_neighbors,
+    summarize,
+    total_triangles,
+    triangle_counts,
+)
+from tests.conftest import random_csr
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_counts_match_networkx(self, seed):
+        csr, G = random_csr(50, 200, seed)
+        ours = triangle_counts(csr)
+        theirs = nx.triangles(G)
+        assert all(ours[v] == theirs[v] for v in G)
+
+    def test_triangle_free(self):
+        g = build_undirected(4, [(0, 1), (1, 2), (2, 3)])
+        assert total_triangles(g) == 0
+
+    def test_complete_graph(self):
+        n = 7
+        g = build_undirected(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+        assert total_triangles(g) == n * (n - 1) * (n - 2) // 6
+
+
+class TestSummary:
+    def test_fields(self, karate):
+        csr, G = karate
+        s = summarize(csr, "karate")
+        assert s.n == 34
+        assert s.m == 78
+        assert s.triangles == sum(nx.triangles(G).values()) // 3
+        assert s.max_degree == max(dict(G.degree()).values())
+        assert s.degeneracy == max(nx.core_number(G).values())
+        assert s.diameter_estimate >= nx.diameter(G) - 1  # double sweep lower bound quality
+        assert s.t_skew > 0
+        assert "karate" in s.row()
+
+    def test_empty_graph_summary(self):
+        s = summarize(build_undirected(0, []), "empty")
+        assert s.n == 0 and s.triangles == 0
+
+
+class TestOrientByRank:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_is_dag_partition(self, seed):
+        csr, _ = random_csr(40, 160, seed)
+        rank = np.random.default_rng(seed).permutation(40)
+        dag = orient_by_rank(csr, rank)
+        assert dag.directed
+        assert dag.num_edges == csr.num_edges  # each edge kept exactly once
+        for u in dag.vertices():
+            for v in dag.out_neigh(u).tolist():
+                assert rank[u] < rank[v] or (rank[u] == rank[v] and u < v)
+
+    def test_rejects_directed_input(self):
+        from repro.graph import build_directed
+
+        g = build_directed(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            orient_by_rank(g, np.arange(3))
+
+
+class TestPermute:
+    def test_roundtrip(self):
+        csr, _ = random_csr(30, 90, 1)
+        perm = np.random.default_rng(0).permutation(30)
+        inv = np.empty(30, dtype=np.int64)
+        inv[perm] = np.arange(30)
+        assert permute(permute(csr, perm), inv) == csr
+
+    def test_preserves_degree_multiset(self):
+        csr, _ = random_csr(30, 90, 2)
+        perm = np.random.default_rng(1).permutation(30)
+        assert sorted(csr.degrees()) == sorted(permute(csr, perm).degrees())
+
+    def test_rejects_non_permutation(self):
+        csr, _ = random_csr(5, 6, 3)
+        with pytest.raises(ValueError):
+            permute(csr, np.zeros(5, dtype=np.int64))
+
+
+class TestInducedSubgraph:
+    def test_matches_networkx(self):
+        csr, G = random_csr(30, 120, 4)
+        verts = [1, 3, 5, 7, 9, 11]
+        sub, mapping = induced_subgraph(csr, verts)
+        nx_sub = G.subgraph(verts)
+        assert sub.num_edges == nx_sub.number_of_edges()
+        assert mapping.tolist() == sorted(verts)
+
+    def test_empty_selection(self):
+        csr, _ = random_csr(10, 20, 5)
+        sub, mapping = induced_subgraph(csr, [])
+        assert sub.num_nodes == 0
+
+
+class TestSplitNeighbors:
+    def test_partition(self):
+        csr, _ = random_csr(25, 80, 6)
+        rank = np.random.default_rng(2).permutation(25)
+        for v in range(25):
+            later, earlier = split_neighbors(csr.out_neigh(v), rank, rank[v])
+            assert len(later) + len(earlier) == csr.out_degree(v)
+            assert all(rank[u] > rank[v] for u in later.tolist())
+            assert all(rank[u] < rank[v] for u in earlier.tolist())
