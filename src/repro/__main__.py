@@ -11,6 +11,7 @@ Commands
 ``stats <dataset>``     print the Table 7 row of one dataset
 ``bk <dataset>``        maximal clique listing (variant/set/ordering flags)
 ``kclique <dataset>``   k-clique counting
+``approx <dataset>``    sketch-based approximate counting (ProbGraph workload)
 ``similarity <dataset>``link-prediction effectiveness of every measure
 ``color <dataset>``     graph coloring (JP priorities / Johansson)
 """
@@ -24,9 +25,19 @@ from typing import List, Optional
 from .core.registry import SET_CLASSES, get_set_class
 from .graph import DATASETS, load_dataset, summarize
 from .learning import SIMILARITY_MEASURES, evaluate_scheme
-from .mining import BK_VARIANTS, kclique_count, run_bk_variant
+from .mining import (
+    BK_VARIANTS,
+    approx_four_clique_count,
+    approx_triangle_count,
+    kclique_count,
+    run_bk_variant,
+)
 from .optimization import johansson, jones_plassmann, verify_coloring
-from .platform import simulated_parallel_seconds
+from .platform import (
+    add_sketch_budget_args,
+    resolve_set_class,
+    simulated_parallel_seconds,
+)
 from .preprocess.ordering import ORDERINGS
 from .runtime import algorithmic_throughput
 
@@ -54,6 +65,13 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=4)
     p.add_argument("--ordering", default="ADG", choices=sorted(ORDERINGS))
     p.add_argument("--parallel", default="edge", choices=["node", "edge"])
+
+    p = sub.add_parser("approx", help="sketch-based approximate counting")
+    p.add_argument("dataset")
+    p.add_argument("--kernel", default="tc", choices=["tc", "4clique"])
+    p.add_argument("--set-class", default="bloom",
+                   choices=sorted(SET_CLASSES))
+    add_sketch_budget_args(p)
 
     p = sub.add_parser("similarity", help="link-prediction effectiveness")
     p.add_argument("dataset")
@@ -102,6 +120,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{res.variant}: {res.count} {args.k}-cliques in "
               f"{1000 * res.total_seconds:.1f} ms "
               f"({res.throughput():,.0f}/s)")
+        return 0
+
+    if args.command == "approx":
+        try:
+            set_cls = resolve_set_class(
+                args.set_class, bloom_bits=args.bloom_bits, kmv_k=args.kmv_k
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.kernel == "tc":
+            res = approx_triangle_count(graph, set_cls)
+            what = "triangles"
+        else:
+            res = approx_four_clique_count(graph, set_cls)
+            what = "4-cliques"
+        print(f"{res.kernel} [{res.set_class}]: estimate {res.estimate:,} "
+              f"{what} (exact {res.exact:,}, "
+              f"rel. error {100 * res.relative_error:.2f}%)")
+        print(f"  estimator {1000 * res.estimate_seconds:.1f} ms, "
+              f"exact baseline {1000 * res.exact_seconds:.1f} ms "
+              f"({res.speedup:.2f}x)")
         return 0
 
     if args.command == "similarity":

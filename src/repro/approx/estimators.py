@@ -1,0 +1,155 @@
+"""ProbGraph-style cardinality estimators and their error bounds.
+
+Bloom filter estimators
+-----------------------
+A Bloom filter with ``m`` bits and ``k`` hash functions holding ``n``
+distinct elements has an expected number of set bits of
+``E[t] = m (1 - (1 - 1/m)^{kn}) ≈ m (1 - e^{-kn/m})``.  Inverting gives the
+classic Swamidass–Baldi cardinality estimator from an observed popcount
+``t``::
+
+    n̂(t) = -(m / k) · ln(1 - t / m)
+
+The union of two filters (same ``m``, ``k``) is exactly the filter of the
+union, so ``|A ∪ B|`` is estimated from the popcount of the bitwise OR, and
+the intersection follows by inclusion–exclusion::
+
+    |A ∩ B|^ = n̂(t_A) + n̂(t_B) - n̂(t_{A∨B})
+
+For sparse fill (``kn ≪ m``) the estimator error is dominated by cross
+collisions between the bits of ``A \\ B`` and ``B \\ A``; their count is
+Binomial with mean ``≈ k²·|A\\B|·|B\\A| / m``, so the standard deviation of
+the intersection estimate is approximately::
+
+    σ ≈ sqrt(|A| · |B| / m)
+
+(:func:`bloom_intersection_stddev`).  The false-positive rate of a
+membership probe is the usual ``(1 - e^{-kn/m})^k``
+(:func:`bloom_false_positive_rate`); there are **no false negatives**.
+
+KMV (k-minimum-values / bottom-k MinHash) estimators
+----------------------------------------------------
+A KMV sketch keeps the ``K`` smallest 64-bit hash values of a set.  With
+hashes normalized to ``U(0, 1]``, the ``K``-th minimum ``u_K`` of ``n``
+distinct values concentrates around ``K / n``, giving the unbiased
+distinct-value estimator of Beyer et al.::
+
+    n̂ = (K - 1) / u_K        (exact count when fewer than K hashes exist)
+
+with relative standard error ``≈ 1 / sqrt(K - 2)``
+(:func:`kmv_relative_stderr`).  Sketches are mergeable: the ``K`` smallest
+of the union of two signatures is the signature of the union.  The Jaccard
+similarity is estimated from the merged signature ``X``::
+
+    ρ̂ = |X ∩ sig(A) ∩ sig(B)| / |X|,    |A ∩ B|^ = ρ̂ · n̂(A ∪ B)
+
+``ρ̂`` is a hypergeometric proportion, so its standard error is
+``sqrt(ρ(1-ρ)/K)``; the intersection estimate inherits this plus the union
+cardinality error.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "bloom_cardinality_estimate",
+    "bloom_intersection_estimate",
+    "bloom_intersection_stddev",
+    "bloom_false_positive_rate",
+    "kmv_cardinality_estimate",
+    "kmv_merge",
+    "kmv_jaccard_estimate",
+    "kmv_intersection_estimate",
+    "kmv_relative_stderr",
+]
+
+_UINT64_SPAN = float(2**64)
+
+
+# ----------------------------------------------------------------------
+# Bloom filter estimators
+# ----------------------------------------------------------------------
+def bloom_cardinality_estimate(num_set_bits: int, num_bits: int, num_hashes: int) -> float:
+    """Swamidass–Baldi estimate of ``n`` from a filter's popcount."""
+    # A saturated filter carries no information; clamp one bit below so the
+    # logarithm stays finite (the caller clamps to exact bounds anyway).
+    t = min(int(num_set_bits), num_bits - 1)
+    if t <= 0:
+        return 0.0
+    return -(num_bits / num_hashes) * math.log1p(-t / num_bits)
+
+
+def bloom_intersection_estimate(
+    t_a: int, t_b: int, t_or: int, num_bits: int, num_hashes: int
+) -> float:
+    """Inclusion–exclusion estimate of ``|A ∩ B|`` from three popcounts."""
+    return (
+        bloom_cardinality_estimate(t_a, num_bits, num_hashes)
+        + bloom_cardinality_estimate(t_b, num_bits, num_hashes)
+        - bloom_cardinality_estimate(t_or, num_bits, num_hashes)
+    )
+
+
+def bloom_intersection_stddev(n_a: int, n_b: int, num_bits: int) -> float:
+    """Approximate std-dev of the intersection estimate (sparse regime)."""
+    return math.sqrt(max(n_a * n_b, 1) / num_bits)
+
+
+def bloom_false_positive_rate(n: int, num_bits: int, num_hashes: int) -> float:
+    """Probability that a ``contains`` probe of a non-member answers True."""
+    fill = 1.0 - math.exp(-num_hashes * n / num_bits)
+    return fill**num_hashes
+
+
+# ----------------------------------------------------------------------
+# KMV estimators
+# ----------------------------------------------------------------------
+def kmv_cardinality_estimate(signature: np.ndarray, k: int) -> float:
+    """Beyer et al. distinct-count estimate from a bottom-k signature."""
+    if len(signature) < k:
+        # The sketch holds every hash — the count is exact.
+        return float(len(signature))
+    u_k = float(signature[k - 1]) / _UINT64_SPAN
+    if u_k <= 0.0:
+        return 0.0
+    return (k - 1) / u_k
+
+
+def kmv_merge(sig_a: np.ndarray, sig_b: np.ndarray, k: int) -> np.ndarray:
+    """Signature of ``A ∪ B``: the ``k`` smallest of the merged signatures."""
+    return np.union1d(sig_a, sig_b)[:k]
+
+
+def _jaccard_from_merged(
+    sig_a: np.ndarray, sig_b: np.ndarray, merged: np.ndarray
+) -> float:
+    """Fraction of the merged bottom-k present in both signatures (``ρ̂``)."""
+    shared = np.intersect1d(sig_a, sig_b, assume_unique=True)
+    hits = int(np.isin(merged, shared, assume_unique=True).sum())
+    return hits / len(merged)
+
+
+def kmv_jaccard_estimate(sig_a: np.ndarray, sig_b: np.ndarray, k: int) -> float:
+    """Estimate the Jaccard similarity from two bottom-k signatures."""
+    merged = kmv_merge(sig_a, sig_b, k)
+    if len(merged) == 0:
+        return 0.0
+    return _jaccard_from_merged(sig_a, sig_b, merged)
+
+
+def kmv_intersection_estimate(sig_a: np.ndarray, sig_b: np.ndarray, k: int) -> float:
+    """Estimate ``|A ∩ B|`` as ``ρ̂ · n̂(A ∪ B)``."""
+    merged = kmv_merge(sig_a, sig_b, k)
+    if len(merged) == 0:
+        return 0.0
+    return _jaccard_from_merged(sig_a, sig_b, merged) * kmv_cardinality_estimate(
+        merged, k
+    )
+
+
+def kmv_relative_stderr(k: int) -> float:
+    """Relative standard error of the KMV cardinality estimator."""
+    return 1.0 / math.sqrt(max(k - 2, 1))

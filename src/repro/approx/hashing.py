@@ -1,0 +1,60 @@
+"""Vectorized 64-bit hashing for the probabilistic set sketches.
+
+Both sketch families hash vertex IDs with *splitmix64*, the finalizer of
+the SplitMix PRNG: a short sequence of xor-shift/multiply rounds with full
+avalanche behaviour.  All routines operate on numpy ``uint64`` arrays so a
+whole neighborhood is hashed in a handful of SIMD-friendly passes — the
+Python stand-in for the per-cache-line hashing loops of ProbGraph.
+
+Bloom filters need ``k`` hash functions per element; we derive them from
+two independent splitmix streams with the Kirsch–Mitzenmacher double
+hashing scheme ``h_i(x) = h1(x) + i · h2(x)``, which preserves the
+asymptotic false-positive rate of ``k`` independent functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["splitmix64", "bloom_indices", "kmv_hashes"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+# Fixed stream seeds: h1/h2 feed the Bloom double-hashing scheme, the KMV
+# stream is independent of both so sketches never alias filter bits.
+_SEED_BLOOM_1 = np.uint64(0x243F6A8885A308D3)
+_SEED_BLOOM_2 = np.uint64(0x13198A2E03707344)
+_SEED_KMV = np.uint64(0xA4093822299F31D0)
+
+
+def splitmix64(values: np.ndarray, seed: np.uint64 = _GOLDEN) -> np.ndarray:
+    """Hash an integer array to ``uint64`` with the splitmix64 finalizer."""
+    x = np.asarray(values).astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += seed * _GOLDEN
+        x ^= x >> np.uint64(30)
+        x *= _MIX1
+        x ^= x >> np.uint64(27)
+        x *= _MIX2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def bloom_indices(elements: np.ndarray, num_hashes: int, num_bits: int) -> np.ndarray:
+    """Return a ``(num_hashes, n)`` array of bit indices in ``[0, num_bits)``.
+
+    ``num_bits`` must be a power of two so the modulo reduction is a mask.
+    """
+    h1 = splitmix64(elements, _SEED_BLOOM_1)
+    h2 = splitmix64(elements, _SEED_BLOOM_2) | np.uint64(1)  # odd → full cycle
+    rounds = np.arange(num_hashes, dtype=np.uint64)[:, None]
+    with np.errstate(over="ignore"):
+        idx = h1[None, :] + rounds * h2[None, :]
+    return (idx & np.uint64(num_bits - 1)).astype(np.int64)
+
+
+def kmv_hashes(elements: np.ndarray) -> np.ndarray:
+    """Hash elements into the KMV stream (uniform over the uint64 range)."""
+    return splitmix64(elements, _SEED_KMV)

@@ -18,7 +18,12 @@ from .ops import (
     intersect_merge,
     union_merge,
 )
-from .registry import SET_CLASSES, get_set_class, register_set_class
+from .registry import (
+    SET_CLASSES,
+    get_set_class,
+    register_set_class,
+    registered_set_classes,
+)
 from .roaring import ARRAY_CONTAINER_MAX, RoaringSet
 from .sorted_set import SortedSet
 
@@ -33,6 +38,7 @@ __all__ = [
     "SET_CLASSES",
     "get_set_class",
     "register_set_class",
+    "registered_set_classes",
     "COUNTERS",
     "Snapshot",
     "snapshot",

@@ -54,6 +54,15 @@ class SetBase(ABC):
 
     __slots__ = ()
 
+    #: Whether every operation returns exact results.  Probabilistic
+    #: representations (:mod:`repro.approx`) set this to ``False``; they
+    #: still keep an exact member store (iteration, ``cardinality``,
+    #: ``to_array`` and equality stay exact) but their membership probes
+    #: and ``*_count`` methods are sketch estimators with one-sided or
+    #: bounded error.  Test matrices branch on this flag: exact classes get
+    #: strict equality checks, approximate ones containment/bound checks.
+    IS_EXACT = True
+
     # ------------------------------------------------------------------
     # Constructors (Listing 1, part 2)
     # ------------------------------------------------------------------

@@ -3,11 +3,21 @@
 Benchmarks and the CLI select set representations by name, exactly like the
 C++ platform selects them via template parameters.  User-defined set classes
 can be registered with :func:`register_set_class`.
+
+Besides the five exact representations, the registry exposes the
+probabilistic backends of :mod:`repro.approx` — ``"bloom"``
+(:class:`~repro.approx.bloom.BloomFilterSet`) and ``"kmv"``
+(:class:`~repro.approx.kmv.KMVSketchSet`) — imported at the bottom of this
+module, after the registry machinery exists, to keep the import graph
+acyclic.  Test suites should
+derive their representation matrix from :data:`SET_CLASSES` (and branch on
+``cls.IS_EXACT``) rather than hardcoding class lists, so newly registered
+backends are covered automatically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, List, Type
 
 from .bit_set import BitSet
 from .compressed_set import CompressedSortedSet
@@ -16,7 +26,12 @@ from .interface import SetBase
 from .roaring import RoaringSet
 from .sorted_set import SortedSet
 
-__all__ = ["SET_CLASSES", "get_set_class", "register_set_class"]
+__all__ = [
+    "SET_CLASSES",
+    "get_set_class",
+    "register_set_class",
+    "registered_set_classes",
+]
 
 SET_CLASSES: Dict[str, Type[SetBase]] = {
     "sorted": SortedSet,
@@ -36,8 +51,25 @@ def get_set_class(name: str) -> Type[SetBase]:
         raise KeyError(f"unknown set class {name!r}; known: {known}") from None
 
 
+def registered_set_classes() -> List[Type[SetBase]]:
+    """Return the registered classes, deduplicated, in registration order.
+
+    This is the canonical way for test matrices and benchmarks to derive
+    the representation sweep (several names may map to one class).
+    """
+    return list(dict.fromkeys(SET_CLASSES.values()))
+
+
 def register_set_class(name: str, cls: Type[SetBase]) -> None:
     """Register a user-provided set representation under *name*."""
     if not (isinstance(cls, type) and issubclass(cls, SetBase)):
         raise TypeError("set classes must subclass SetBase")
     SET_CLASSES[name] = cls
+
+
+# Imported last, once the registry machinery exists, so the probabilistic
+# backends can self-register as "bloom"/"kmv".  During a circular import
+# (repro.approx imported first) this returns the partially-initialized
+# module from sys.modules and registration completes when that module's own
+# body finishes.
+import repro.approx  # noqa: E402,F401

@@ -1,5 +1,11 @@
 """Reference graph-mining algorithms (paper section 6)."""
 
+from .approx import (
+    ApproxCountResult,
+    approx_four_clique_count,
+    approx_triangle_count,
+    kclique_count_sets,
+)
 from .baselines import (
     danisch_kclique_count,
     framework_kclique_count,
@@ -14,6 +20,10 @@ from .kcore import approx_core_numbers, core_histogram, core_numbers, k_core
 from .triangles import triangle_count_node_iterator, triangle_count_rank_merge
 
 __all__ = [
+    "ApproxCountResult",
+    "approx_triangle_count",
+    "approx_four_clique_count",
+    "kclique_count_sets",
     "BKResult",
     "bron_kerbosch",
     "bk_das",

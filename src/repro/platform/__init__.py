@@ -7,7 +7,13 @@ from .bench import (
     simulated_parallel_seconds,
     write_artifact,
 )
-from .cli import Args, build_parser, parse_args
+from .cli import (
+    Args,
+    add_sketch_budget_args,
+    build_parser,
+    parse_args,
+    resolve_set_class,
+)
 from .pipeline import Pipeline, PipelineReport, StageRecord
 
 __all__ = [
@@ -15,8 +21,10 @@ __all__ = [
     "PipelineReport",
     "StageRecord",
     "Args",
+    "add_sketch_budget_args",
     "build_parser",
     "parse_args",
+    "resolve_set_class",
     "parallel_reorder_seconds",
     "simulated_parallel_seconds",
     "print_table",

@@ -2,19 +2,41 @@
 
 Benchmarks and examples share a single argument surface: dataset selection,
 set representation, vertex ordering, thread counts for the simulated
-scaling runs, and output control.
+scaling runs, sketch budgets for the probabilistic representations, and
+output control.
 """
 
 from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Type
 
-from ..core.registry import SET_CLASSES
+from ..core.interface import SetBase
+from ..core.registry import SET_CLASSES, get_set_class
 from ..preprocess.ordering import ORDERINGS
 
-__all__ = ["Args", "build_parser", "parse_args"]
+__all__ = [
+    "Args",
+    "add_sketch_budget_args",
+    "build_parser",
+    "parse_args",
+    "resolve_set_class",
+]
+
+
+def add_sketch_budget_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared sketch-budget flags for the approximate backends.
+
+    Used by both the benchmark parser below and the ``python -m repro
+    approx`` subcommand so the flags stay in sync.
+    """
+    parser.add_argument("--bloom-bits", type=int, default=0,
+                        help="Bloom budget in bits per element "
+                             "(set-class 'bloom'; 0 = class default)")
+    parser.add_argument("--kmv-k", type=int, default=0,
+                        help="KMV signature size "
+                             "(set-class 'kmv'; 0 = class default)")
 
 
 @dataclass
@@ -29,10 +51,19 @@ class Args:
     k: int = 4
     repeats: int = 3
     verbose: bool = False
+    # Sketch budgets for the approximate backends; 0 keeps class defaults.
+    bloom_bits: int = 0
+    kmv_k: int = 0
 
     def __post_init__(self) -> None:
         if self.threads is None:
             self.threads = [1, 2, 4, 8, 16, 32]
+
+    def resolve_set_class(self) -> Type[SetBase]:
+        """Resolve ``set_class`` honoring the sketch-budget overrides."""
+        return resolve_set_class(
+            self.set_class, bloom_bits=self.bloom_bits, kmv_k=self.kmv_k
+        )
 
 
 def build_parser(description: str = "GMS reproduction benchmark") -> argparse.ArgumentParser:
@@ -55,6 +86,7 @@ def build_parser(description: str = "GMS reproduction benchmark") -> argparse.Ar
     )
     parser.add_argument("--eps", type=float, default=0.1,
                         help="ADG approximation parameter")
+    add_sketch_budget_args(parser)
     parser.add_argument("--k", type=int, default=4, help="clique size k")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -78,4 +110,26 @@ def parse_args(argv: Optional[List[str]] = None,
         k=ns.k,
         repeats=ns.repeats,
         verbose=ns.verbose,
+        bloom_bits=ns.bloom_bits,
+        kmv_k=ns.kmv_k,
     )
+
+
+def resolve_set_class(
+    set_class: str, *, bloom_bits: int = 0, kmv_k: int = 0
+) -> Type[SetBase]:
+    """Resolve a set-class name, applying any sketch-budget overrides.
+
+    ``bloom_bits``/``kmv_k`` of 0 keep the registered class defaults; other
+    values derive a budget-configured subclass via the approx factories.
+    The overrides key on the resolved class's family, so user-registered
+    Bloom/KMV subclasses honor the flags too.
+    """
+    cls = get_set_class(set_class)
+    from ..approx import BloomFilterSet, KMVSketchSet
+
+    if bloom_bits and issubclass(cls, BloomFilterSet):
+        return cls.with_budget(bits_per_element=bloom_bits)
+    if kmv_k and issubclass(cls, KMVSketchSet):
+        return cls.with_k(kmv_k)
+    return cls

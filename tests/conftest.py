@@ -6,21 +6,34 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.core import (
-    BitSet,
-    CompressedSortedSet,
-    HashSet,
-    RoaringSet,
-    SortedSet,
-)
+from repro.core import registered_set_classes
 from repro.graph import build_undirected
 
-ALL_SET_CLASSES = [SortedSet, BitSet, RoaringSet, HashSet, CompressedSortedSet]
+# The representation matrix is derived from the registry so that newly
+# registered backends (e.g. a user's register_set_class) are covered
+# automatically.  Exact classes are separated out for the mining/graph
+# tests that assert exact counts.
+ALL_SET_CLASSES = registered_set_classes()
+EXACT_SET_CLASSES = [cls for cls in ALL_SET_CLASSES if cls.IS_EXACT]
+APPROX_SET_CLASSES = [cls for cls in ALL_SET_CLASSES if not cls.IS_EXACT]
+
+
+@pytest.fixture(params=EXACT_SET_CLASSES, ids=lambda c: c.__name__)
+def set_cls(request):
+    """Parametrizes a test over every *exact* registered representation."""
+    return request.param
 
 
 @pytest.fixture(params=ALL_SET_CLASSES, ids=lambda c: c.__name__)
-def set_cls(request):
-    """Parametrizes a test over all four set representations."""
+def any_set_cls(request):
+    """Parametrizes a test over every registered representation,
+    exact and approximate alike; tests branch on ``cls.IS_EXACT``."""
+    return request.param
+
+
+@pytest.fixture(params=APPROX_SET_CLASSES, ids=lambda c: c.__name__)
+def approx_set_cls(request):
+    """Parametrizes a test over the approximate (sketch) representations."""
     return request.param
 
 

@@ -47,6 +47,50 @@ def test_color(capsys, method):
     assert "proper: True" in capsys.readouterr().out
 
 
+@pytest.mark.parametrize("set_class", ["bloom", "kmv"])
+def test_approx_tc(capsys, set_class):
+    assert main(["approx", "sc-ht-mini", "--set-class", set_class]) == 0
+    out = capsys.readouterr().out
+    assert "estimate" in out and "rel. error" in out and "triangles" in out
+
+
+def test_approx_four_clique(capsys):
+    assert main(["approx", "sc-ht-mini", "--kernel", "4clique"]) == 0
+    assert "4-cliques" in capsys.readouterr().out
+
+
+def test_approx_accepts_exact_backends_too(capsys):
+    assert main(["approx", "sc-ht-mini", "--set-class", "sorted"]) == 0
+    assert "rel. error 0.00%" in capsys.readouterr().out
+
+
+def test_approx_budget_flags_are_applied(capsys):
+    assert main(["approx", "sc-ht-mini", "--set-class", "bloom",
+                 "--bloom-bits", "4"]) == 0
+    assert "BloomFilterSet_b4" in capsys.readouterr().out
+    assert main(["approx", "sc-ht-mini", "--set-class", "kmv",
+                 "--kmv-k", "8"]) == 0
+    assert "KMVSketchSet_k8" in capsys.readouterr().out
+
+
+def test_resolve_set_class_budgets():
+    from repro.core import SortedSet
+    from repro.platform import parse_args, resolve_set_class
+
+    args = parse_args(["--set-class", "bloom", "--bloom-bits", "8"])
+    assert args.resolve_set_class().BITS_PER_ELEMENT == 8
+    assert resolve_set_class("kmv", kmv_k=16).K == 16
+    assert resolve_set_class("sorted") is SortedSet
+    # Budget overrides are ignored for non-matching backends.
+    assert resolve_set_class("sorted", bloom_bits=8) is SortedSet
+
+
+def test_bk_runs_on_approx_backend(capsys):
+    # The 5+ modularity hook: existing commands accept the new backends.
+    assert main(["bk", "sc-ht-mini", "--set-class", "kmv"]) == 0
+    assert "maximal cliques" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
