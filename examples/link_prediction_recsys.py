@@ -5,15 +5,23 @@ the co-rating links, score the candidate pairs with each of the seven
 vertex-similarity measures, and rank the schemes by the paper's
 effectiveness metric ``eff = |E_predict ∩ E_rndm|`` — contrasting against
 the random-guess baseline.  Also demonstrates the merge-vs-galloping
-intersection choice (section 6.5).
+intersection choice (section 6.5) and the *approximate mining* path: the
+sketch-based ``"jaccard-kmv"`` measure scored through per-vertex KMV
+signatures, with its effectiveness loss against exact Jaccard.
 
 Run:  python examples/link_prediction_recsys.py
 """
 
 import time
 
+from repro.approx import kmv_set_class
 from repro.graph import load_dataset
-from repro.learning import SIMILARITY_MEASURES, evaluate_scheme, similarity_all_pairs
+from repro.learning import (
+    SIMILARITY_MEASURES,
+    effectiveness_loss,
+    evaluate_scheme,
+    similarity_all_pairs,
+)
 
 
 def main() -> None:
@@ -42,6 +50,26 @@ def main() -> None:
         dt = time.perf_counter() - t0
         print(f"jaccard all-pairs with {algorithm:<10} kernel: "
               f"{len(pairs)} pairs in {1000 * dt:.0f} ms")
+
+    # Approximate mining: the "jaccard-kmv" sketch measure.  Each
+    # neighborhood is hashed once into a bottom-K signature; every pair
+    # then costs O(K) instead of an exact merge.  The effectiveness-loss
+    # protocol reruns the identical split with exact and sketch Jaccard,
+    # so the difference isolates the estimator error at each budget.
+    print(f"\n{'kmv budget':<14}{'eff (kmv)':>10}{'eff (exact)':>13}{'loss':>8}")
+    print("-" * 45)
+    for K in (8, 32, 128):
+        res = effectiveness_loss(graph, "jaccard", "jaccard-kmv",
+                                 fraction=0.1, seed=42,
+                                 kmv_cls=kmv_set_class(K))
+        print(f"K={K:<12}{res.approx.effectiveness:>10.3f}"
+              f"{res.exact.effectiveness:>13.3f}{res.loss:>+8.3f}")
+
+    t0 = time.perf_counter()
+    pairs = similarity_all_pairs(graph, "jaccard-kmv")
+    dt = time.perf_counter() - t0
+    print(f"jaccard-kmv all-pairs (K=128 signatures): "
+          f"{len(pairs)} pairs in {1000 * dt:.0f} ms")
 
 
 if __name__ == "__main__":

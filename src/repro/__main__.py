@@ -14,6 +14,7 @@ Commands
 ``approx <dataset>``    sketch-based approximate counting (ProbGraph workload)
 ``similarity <dataset>``link-prediction effectiveness of every measure
 ``color <dataset>``     graph coloring (JP priorities / Johansson)
+``budget-sweep``        CLI-driven sketch-budget sweep → results/ artifact
 """
 
 from __future__ import annotations
@@ -22,15 +23,16 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.registry import SET_CLASSES, get_set_class
+from .core.registry import get_set_class, set_class_names
 from .graph import DATASETS, load_dataset, summarize
-from .learning import SIMILARITY_MEASURES, evaluate_scheme
+from .learning import evaluate_scheme, known_measures
 from .mining import (
     BK_VARIANTS,
     approx_four_clique_count,
     approx_triangle_count,
     kclique_count,
     run_bk_variant,
+    sketch_pivot_bron_kerbosch,
 )
 from .optimization import johansson, jones_plassmann, verify_coloring
 from .platform import (
@@ -57,7 +59,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("dataset")
     p.add_argument("--variant", default="BK-GMS-ADG", choices=BK_VARIANTS)
     p.add_argument("--set-class", default="bitset",
-                   choices=sorted(SET_CLASSES))
+                   choices=set_class_names())
     p.add_argument("--threads", type=int, default=16)
 
     p = sub.add_parser("kclique", help="k-clique counting")
@@ -68,14 +70,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("approx", help="sketch-based approximate counting")
     p.add_argument("dataset")
-    p.add_argument("--kernel", default="tc", choices=["tc", "4clique"])
+    p.add_argument("--kernel", default="tc", choices=["tc", "4clique", "bk"])
     p.add_argument("--set-class", default="bloom",
-                   choices=sorted(SET_CLASSES))
+                   choices=set_class_names())
+    p.add_argument("--reconcile", action="store_true",
+                   help="4clique: exact candidate sets at every level, "
+                        "estimates only at the top (counting) level")
     add_sketch_budget_args(p)
 
     p = sub.add_parser("similarity", help="link-prediction effectiveness")
     p.add_argument("dataset")
     p.add_argument("--fraction", type=float, default=0.1)
+
+    p = sub.add_parser(
+        "budget-sweep",
+        help="CLI-driven sketch-budget sweep (flags of the shared "
+             "benchmark parser; writes results/budget_sweep_<dataset>.json)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
 
     p = sub.add_parser("color", help="graph coloring")
     p.add_argument("dataset")
@@ -86,6 +99,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "budget-sweep":
+        # The sweep owns the full shared benchmark parser (dataset, budgets,
+        # ordering, …), so its flags are forwarded wholesale instead of
+        # being re-declared on this driver's subparser.
+        from .platform.budget_sweep import main as budget_sweep_main
+
+        return budget_sweep_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "datasets":
@@ -125,16 +147,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "approx":
         try:
             set_cls = resolve_set_class(
-                args.set_class, bloom_bits=args.bloom_bits, kmv_k=args.kmv_k
+                args.set_class, bloom_bits=args.bloom_bits, kmv_k=args.kmv_k,
+                bloom_shared_bits=args.bloom_shared_bits,
+                num_sets=graph.num_nodes,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.kernel == "bk":
+            bk = sketch_pivot_bron_kerbosch(graph, set_cls)
+            print(f"bk-sketch-pivot [{bk.pivot_class}]: "
+                  f"{bk.num_cliques} maximal cliques "
+                  f"(exact {bk.exact_num_cliques}, "
+                  f"identical: {bk.identical})")
+            print(f"  recursion {bk.estimate_calls} calls "
+                  f"(exact pivots {bk.exact_calls}, "
+                  f"{bk.call_overhead:.2f}x), "
+                  f"{1000 * bk.estimate_seconds:.1f} ms vs "
+                  f"{1000 * bk.exact_seconds:.1f} ms")
+            return 0 if bk.identical else 1
         if args.kernel == "tc":
             res = approx_triangle_count(graph, set_cls)
             what = "triangles"
         else:
-            res = approx_four_clique_count(graph, set_cls)
+            res = approx_four_clique_count(graph, set_cls,
+                                           reconcile=args.reconcile)
             what = "4-cliques"
         print(f"{res.kernel} [{res.set_class}]: estimate {res.estimate:,} "
               f"{what} (exact {res.exact:,}, "
@@ -145,7 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "similarity":
-        for measure in sorted(SIMILARITY_MEASURES):
+        for measure in known_measures():
             res = evaluate_scheme(graph, measure, fraction=args.fraction)
             print(f"{measure:<24} eff {res.effectiveness:.3f} "
                   f"({res.predicted_correct}/{res.removed})")

@@ -52,7 +52,7 @@ ProbGraph speed-vs-accuracy tradeoff curve.
 """
 
 from ..core.registry import register_set_class
-from .bloom import BloomFilterSet, bloom_set_class
+from .bloom import BloomFilterSet, bloom_set_class, shared_bloom_set_class
 from .estimators import (
     bloom_cardinality_estimate,
     bloom_false_positive_rate,
@@ -70,6 +70,7 @@ from .kmv import KMVSketchSet, kmv_set_class
 __all__ = [
     "BloomFilterSet",
     "bloom_set_class",
+    "shared_bloom_set_class",
     "KMVSketchSet",
     "kmv_set_class",
     "splitmix64",

@@ -26,6 +26,15 @@ smaller member array probes the larger filter instead, which keeps the
 error bounded by the larger filter's false-positive rate rather than
 saturating a downsized filter.  Use :func:`bloom_set_class` to derive a
 class with a different budget.
+
+Alternatively, a *shared* budget fixes one filter size for every instance:
+:func:`shared_bloom_set_class` (or :meth:`BloomFilterSet.with_shared_budget`)
+splits a per-graph total of ``m_total`` bits evenly over ``n`` sets,
+``m = m_total / n`` rounded down to a power of two.  With every filter the
+same size, *every* pair of neighborhoods takes the pure popcount estimator
+— the probe fallback for disparate budgets never triggers — which is the
+ProbGraph deployment model (one storage budget chosen per graph, not per
+vertex).
 """
 
 from __future__ import annotations
@@ -43,7 +52,7 @@ from .estimators import (
 )
 from .hashing import bloom_indices
 
-__all__ = ["BloomFilterSet", "bloom_set_class"]
+__all__ = ["BloomFilterSet", "bloom_set_class", "shared_bloom_set_class"]
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -70,6 +79,8 @@ class BloomFilterSet(SetBase):
     BITS_PER_ELEMENT = 32
     NUM_HASHES = 4
     MIN_BITS = 1024
+    #: Fixed filter size in bits for shared-budget classes; 0 = size per set.
+    SHARED_BITS = 0
 
     __slots__ = ("_members", "_words", "_num_bits", "_ones")
 
@@ -86,6 +97,8 @@ class BloomFilterSet(SetBase):
     # -- sketch maintenance ---------------------------------------------
     @classmethod
     def _sized_bits(cls, n: int) -> int:
+        if cls.SHARED_BITS:
+            return cls.SHARED_BITS
         return _pow2_ceil(max(cls.MIN_BITS, 64, cls.BITS_PER_ELEMENT * max(n, 1)))
 
     def _rebuild_filter(self) -> None:
@@ -245,7 +258,8 @@ class BloomFilterSet(SetBase):
             return
         self._members = np.insert(self._members, idx, element)
         COUNTERS.elements_written += 1
-        if len(self._members) * self.BITS_PER_ELEMENT > self._num_bits:
+        if (not self.SHARED_BITS
+                and len(self._members) * self.BITS_PER_ELEMENT > self._num_bits):
             self._rebuild_filter()  # grow: keeps the false-positive rate bounded
         else:
             self._set_bits(np.asarray([element], dtype=np.int64))
@@ -321,6 +335,39 @@ class BloomFilterSet(SetBase):
             },
         )
 
+    @classmethod
+    def with_shared_budget(
+        cls,
+        total_bits: int,
+        num_sets: int,
+        num_hashes: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> Type["BloomFilterSet"]:
+        """Derive a subclass whose every instance uses one fixed filter size.
+
+        The per-graph total of *total_bits* is split evenly over *num_sets*
+        sets: ``m = total_bits / num_sets``, rounded *down* to a power of
+        two so the rounding itself never exceeds the global budget — but
+        each filter is floored at 64 bits (one word), so totals leaner
+        than ``64 * num_sets`` are silently promoted to that floor and
+        every such total yields the same class.  With all filters
+        equal-sized, every ``intersect_count`` pair takes the pure
+        popcount estimator — the disparate-budget probe fallback never
+        triggers.
+        """
+        if total_bits < 64 or num_sets < 1:
+            raise ValueError("shared bloom budget parameters out of range")
+        per_set = max(64, total_bits // num_sets)
+        m = 1 << (per_set.bit_length() - 1)
+        hashes = cls.NUM_HASHES if num_hashes is None else num_hashes
+        if hashes < 1:
+            raise ValueError("bloom budget parameters out of range")
+        return type(
+            name or f"{cls.__name__.split('_m')[0].split('_b')[0]}_m{m}",
+            (cls,),
+            {"__slots__": (), "SHARED_BITS": m, "NUM_HASHES": hashes},
+        )
+
 
 def bloom_set_class(
     bits_per_element: int = 32,
@@ -336,3 +383,20 @@ def bloom_set_class(
     :func:`repro.core.registry.register_set_class`.
     """
     return BloomFilterSet.with_budget(bits_per_element, num_hashes, min_bits, name)
+
+
+def shared_bloom_set_class(
+    total_bits: int,
+    num_sets: int,
+    num_hashes: int = 4,
+    name: Optional[str] = None,
+) -> Type[BloomFilterSet]:
+    """Derive a :class:`BloomFilterSet` subclass with a per-graph shared budget.
+
+    Splits *total_bits* evenly over *num_sets* neighborhoods (``m =
+    total_bits / num_sets``, power-of-two floored), so every instance's
+    filter has the same size and every pair is eligible for the popcount
+    estimator.  This is the ProbGraph deployment model: one storage budget
+    chosen per graph in a single factory call.
+    """
+    return BloomFilterSet.with_shared_budget(total_bits, num_sets, num_hashes, name)

@@ -23,6 +23,7 @@ from .registry import (
     get_set_class,
     register_set_class,
     registered_set_classes,
+    set_class_names,
 )
 from .roaring import ARRAY_CONTAINER_MAX, RoaringSet
 from .sorted_set import SortedSet
@@ -39,6 +40,7 @@ __all__ = [
     "get_set_class",
     "register_set_class",
     "registered_set_classes",
+    "set_class_names",
     "COUNTERS",
     "Snapshot",
     "snapshot",

@@ -7,12 +7,16 @@ can be registered with :func:`register_set_class`.
 Besides the five exact representations, the registry exposes the
 probabilistic backends of :mod:`repro.approx` — ``"bloom"``
 (:class:`~repro.approx.bloom.BloomFilterSet`) and ``"kmv"``
-(:class:`~repro.approx.kmv.KMVSketchSet`) — imported at the bottom of this
-module, after the registry machinery exists, to keep the import graph
-acyclic.  Test suites should
-derive their representation matrix from :data:`SET_CLASSES` (and branch on
-``cls.IS_EXACT``) rather than hardcoding class lists, so newly registered
-backends are covered automatically.
+(:class:`~repro.approx.kmv.KMVSketchSet`).  Their registration is *lazy*:
+:mod:`repro.approx` is imported on the first **read** of the registry —
+any :data:`SET_CLASSES` lookup, membership test, or iteration (and hence
+:func:`get_set_class`, :func:`registered_set_classes`,
+:func:`set_class_names`) — so this module never imports the backends at
+body time and the import graph stays acyclic without ordering constraints.
+Test suites should derive their representation matrix from
+:func:`registered_set_classes` (and branch on ``cls.IS_EXACT``) rather than
+hardcoding class lists, so newly registered backends are covered
+automatically.
 """
 
 from __future__ import annotations
@@ -31,15 +35,79 @@ __all__ = [
     "get_set_class",
     "register_set_class",
     "registered_set_classes",
+    "set_class_names",
 ]
 
-SET_CLASSES: Dict[str, Type[SetBase]] = {
-    "sorted": SortedSet,
-    "bitset": BitSet,
-    "roaring": RoaringSet,
-    "hash": HashSet,
-    "compressed": CompressedSortedSet,
-}
+_lazy_backends_loaded = False
+
+
+def _ensure_lazy_backends() -> None:
+    """Import :mod:`repro.approx` once so ``"bloom"``/``"kmv"`` self-register.
+
+    Idempotent and cycle-safe: the flag is set *before* the import, so a
+    re-entrant call during the package's own body (which imports this
+    module first) is a no-op.
+    """
+    global _lazy_backends_loaded
+    if _lazy_backends_loaded:
+        return
+    _lazy_backends_loaded = True
+    import repro.approx  # noqa: F401  (self-registers on import)
+
+
+class _LazySetClassRegistry(Dict[str, Type[SetBase]]):
+    """Registry dict that loads the lazy backends on first *read*.
+
+    Importing this module does not import :mod:`repro.approx`; any lookup,
+    membership test, or iteration over the registry does — so consumers
+    that read :data:`SET_CLASSES` directly (CLI ``choices``, test
+    matrices) see ``"bloom"``/``"kmv"`` exactly as they did when the
+    backends were registered eagerly.  Writes never trigger the load
+    (``register_set_class`` during the backends' own import must not
+    recurse).
+    """
+
+    def __getitem__(self, key: str) -> Type[SetBase]:
+        if not super().__contains__(key):
+            _ensure_lazy_backends()
+        return super().__getitem__(key)
+
+    def __contains__(self, key: object) -> bool:
+        _ensure_lazy_backends()
+        return super().__contains__(key)
+
+    def __iter__(self):
+        _ensure_lazy_backends()
+        return super().__iter__()
+
+    def __len__(self) -> int:
+        _ensure_lazy_backends()
+        return super().__len__()
+
+    def keys(self):
+        _ensure_lazy_backends()
+        return super().keys()
+
+    def values(self):
+        _ensure_lazy_backends()
+        return super().values()
+
+    def items(self):
+        _ensure_lazy_backends()
+        return super().items()
+
+    def get(self, key, default=None):
+        _ensure_lazy_backends()
+        return super().get(key, default)
+
+
+SET_CLASSES: Dict[str, Type[SetBase]] = _LazySetClassRegistry(
+    sorted=SortedSet,
+    bitset=BitSet,
+    roaring=RoaringSet,
+    hash=HashSet,
+    compressed=CompressedSortedSet,
+)
 
 
 def get_set_class(name: str) -> Type[SetBase]:
@@ -60,16 +128,13 @@ def registered_set_classes() -> List[Type[SetBase]]:
     return list(dict.fromkeys(SET_CLASSES.values()))
 
 
+def set_class_names() -> List[str]:
+    """Sorted registry names, including the lazily-registered backends."""
+    return sorted(SET_CLASSES)
+
+
 def register_set_class(name: str, cls: Type[SetBase]) -> None:
     """Register a user-provided set representation under *name*."""
     if not (isinstance(cls, type) and issubclass(cls, SetBase)):
         raise TypeError("set classes must subclass SetBase")
     SET_CLASSES[name] = cls
-
-
-# Imported last, once the registry machinery exists, so the probabilistic
-# backends can self-register as "bloom"/"kmv".  During a circular import
-# (repro.approx imported first) this returns the partially-initialized
-# module from sys.modules and registration completes when that module's own
-# body finishes.
-import repro.approx  # noqa: E402,F401

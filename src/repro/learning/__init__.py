@@ -3,7 +3,9 @@
 from .jarvis_patrick import jarvis_patrick
 from .label_propagation import label_propagation
 from .linkpred import (
+    EffectivenessLoss,
     LinkPredictionResult,
+    effectiveness_loss,
     evaluate_scheme,
     predict_links,
     sparsify,
@@ -11,6 +13,9 @@ from .linkpred import (
 from .louvain import louvain, modularity
 from .similarity import (
     SIMILARITY_MEASURES,
+    SKETCH_MEASURES,
+    KMVNeighborhoodCache,
+    known_measures,
     score_pairs,
     similarity,
     similarity_all_pairs,
@@ -18,13 +23,18 @@ from .similarity import (
 
 __all__ = [
     "SIMILARITY_MEASURES",
+    "SKETCH_MEASURES",
+    "KMVNeighborhoodCache",
+    "known_measures",
     "similarity",
     "similarity_all_pairs",
     "score_pairs",
     "LinkPredictionResult",
+    "EffectivenessLoss",
     "sparsify",
     "predict_links",
     "evaluate_scheme",
+    "effectiveness_loss",
     "jarvis_patrick",
     "label_propagation",
     "louvain",

@@ -10,20 +10,37 @@ The protocol of section 6.7, verbatim in set algebra:
    scheme ``S`` computed on the sparsified graph;
 4. the effectiveness of ``S`` is ``eff = |E_predict ∩ E_rndm|`` where
    ``E_predict`` are the ``|E_rndm|`` highest-scored pairs.
+
+Sketch measures (e.g. ``"jaccard-kmv"``) run through the same protocol, so
+:func:`effectiveness_loss` quantifies exactly what ProbGraph claims — how
+much prediction quality an estimated similarity gives up against its exact
+counterpart at a given sketch budget.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple, Type
 
 import numpy as np
 
 from ..graph.builder import build_undirected
 from ..graph.csr import CSRGraph
-from .similarity import SIMILARITY_MEASURES, similarity_all_pairs
+from .similarity import (
+    SIMILARITY_MEASURES,
+    SKETCH_MEASURES,
+    known_measures,
+    similarity_all_pairs,
+)
 
-__all__ = ["LinkPredictionResult", "sparsify", "predict_links", "evaluate_scheme"]
+__all__ = [
+    "LinkPredictionResult",
+    "EffectivenessLoss",
+    "sparsify",
+    "predict_links",
+    "evaluate_scheme",
+    "effectiveness_loss",
+]
 
 
 @dataclass
@@ -59,12 +76,13 @@ def sparsify(
 
 
 def predict_links(
-    sparse: CSRGraph, budget: int, measure: str = "jaccard"
+    sparse: CSRGraph, budget: int, measure: str = "jaccard",
+    kmv_cls: Optional[Type] = None,
 ) -> List[Tuple[int, int, float]]:
     """Top-*budget* non-adjacent pairs by similarity score on ``G_sparse``."""
     scored = [
         (u, v, s)
-        for u, v, s in similarity_all_pairs(sparse, measure)
+        for u, v, s in similarity_all_pairs(sparse, measure, kmv_cls=kmv_cls)
         if not sparse.has_edge(u, v)
     ]
     scored.sort(key=lambda t: (-t[2], t[0], t[1]))
@@ -72,14 +90,20 @@ def predict_links(
 
 
 def evaluate_scheme(
-    graph: CSRGraph, measure: str = "jaccard", fraction: float = 0.1, seed: int = 0
+    graph: CSRGraph, measure: str = "jaccard", fraction: float = 0.1,
+    seed: int = 0, kmv_cls: Optional[Type] = None,
 ) -> LinkPredictionResult:
-    """Run the full section 6.7 protocol for one similarity scheme."""
-    if measure not in SIMILARITY_MEASURES:
-        known = ", ".join(sorted(SIMILARITY_MEASURES))
+    """Run the full section 6.7 protocol for one similarity scheme.
+
+    Accepts both exact and sketch measures; ``kmv_cls`` tunes the sketch
+    budget of the latter (ignored by exact measures).
+    """
+    if measure not in SIMILARITY_MEASURES and measure not in SKETCH_MEASURES:
+        known = ", ".join(known_measures())
         raise KeyError(f"unknown measure {measure!r}; known: {known}")
     sparse, removed = sparsify(graph, fraction, seed)
-    predictions = predict_links(sparse, budget=len(removed), measure=measure)
+    predictions = predict_links(sparse, budget=len(removed), measure=measure,
+                                kmv_cls=kmv_cls)
     hits = sum(
         1
         for u, v, _ in predictions
@@ -90,4 +114,39 @@ def evaluate_scheme(
         removed=len(removed),
         predicted_correct=hits,
         pairs_scored=len(predictions),
+    )
+
+
+@dataclass
+class EffectivenessLoss:
+    """Exact-vs-sketch link-prediction comparison on identical splits."""
+
+    exact: LinkPredictionResult
+    approx: LinkPredictionResult
+
+    @property
+    def loss(self) -> float:
+        """``eff(exact) - eff(approx)`` — positive means the sketch lost
+        prediction quality; ≤ 0 means it matched (or got lucky)."""
+        return self.exact.effectiveness - self.approx.effectiveness
+
+
+def effectiveness_loss(
+    graph: CSRGraph,
+    exact_measure: str = "jaccard",
+    approx_measure: str = "jaccard-kmv",
+    fraction: float = 0.1,
+    seed: int = 0,
+    kmv_cls: Optional[Type] = None,
+) -> EffectivenessLoss:
+    """Effectiveness loss of a sketch measure against its exact twin.
+
+    Both schemes score the *same* sparsified graph and removed-edge set
+    (same ``seed``), so the difference isolates the estimator error — the
+    ProbGraph question "how much accuracy does the sketch budget cost?".
+    """
+    return EffectivenessLoss(
+        exact=evaluate_scheme(graph, exact_measure, fraction, seed),
+        approx=evaluate_scheme(graph, approx_measure, fraction, seed,
+                               kmv_cls=kmv_cls),
     )

@@ -14,19 +14,35 @@ Resource Allocation           ``Σ_{w ∈ N∩} 1 / Δ(w)``
 Total Neighbors               ``|N∪|``
 Preferential Attachment       ``Δ(u) · Δ(v)``
 ============================  =======================================
+
+Sketch-based measures (:data:`SKETCH_MEASURES`) skip the exact
+common-neighbor kernel entirely: ``"jaccard-kmv"`` estimates the Jaccard
+similarity from per-vertex KMV signatures
+(:meth:`~repro.approx.kmv.KMVSketchSet.jaccard_estimate`) built lazily and
+cached per call, so an all-pairs scan hashes each neighborhood **once** and
+every pair costs O(K) instead of O(Δu + Δv) — the ProbGraph vertex-
+similarity workload.  Estimates are exact whenever ``|N(u) ∪ N(v)| ≤ K``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..core.ops import intersect_galloping, intersect_merge
 from ..graph.csr import CSRGraph
 
-__all__ = ["SIMILARITY_MEASURES", "similarity", "similarity_all_pairs", "score_pairs"]
+__all__ = [
+    "SIMILARITY_MEASURES",
+    "SKETCH_MEASURES",
+    "KMVNeighborhoodCache",
+    "known_measures",
+    "similarity",
+    "similarity_all_pairs",
+    "score_pairs",
+]
 
 
 def _common(graph: CSRGraph, u: int, v: int, algorithm: str) -> np.ndarray:
@@ -89,20 +105,70 @@ SIMILARITY_MEASURES: Dict[str, Callable] = {
 }
 
 
+class KMVNeighborhoodCache:
+    """Per-graph KMV sketches of vertex neighborhoods, built lazily.
+
+    One instance is created per scoring call (or shared across calls by
+    the caller); each neighborhood is hashed at most once no matter how
+    many pairs touch it.
+    """
+
+    def __init__(self, graph: CSRGraph, kmv_cls: Optional[Type] = None):
+        if kmv_cls is None:
+            from ..approx.kmv import KMVSketchSet  # deferred: keeps the
+            # learning package importable without pulling repro.approx
+            kmv_cls = KMVSketchSet
+        self.graph = graph
+        self.kmv_cls = kmv_cls
+        self._sketches: Dict[int, object] = {}
+
+    def get(self, v: int):
+        sketch = self._sketches.get(v)
+        if sketch is None:
+            sketch = self.kmv_cls.from_sorted_array(self.graph.out_neigh(v))
+            self._sketches[v] = sketch
+        return sketch
+
+
+def _jaccard_kmv(cache: KMVNeighborhoodCache, u: int, v: int) -> float:
+    return cache.get(u).jaccard_estimate(cache.get(v))
+
+
+#: Sketch-based measures, scored as ``fn(cache, u, v)`` over a
+#: :class:`KMVNeighborhoodCache` instead of the exact ∩ kernel.
+SKETCH_MEASURES: Dict[str, Callable] = {
+    "jaccard-kmv": _jaccard_kmv,
+}
+
+
+def known_measures() -> List[str]:
+    """All measure names — exact and sketch-based — sorted."""
+    return sorted(set(SIMILARITY_MEASURES) | set(SKETCH_MEASURES))
+
+
+def _unknown_measure(measure: str) -> KeyError:
+    known = ", ".join(known_measures())
+    return KeyError(f"unknown measure {measure!r}; known: {known}")
+
+
 def similarity(
     graph: CSRGraph, u: int, v: int, measure: str = "jaccard",
-    algorithm: str = "merge",
+    algorithm: str = "merge", kmv_cls: Optional[Type] = None,
 ) -> float:
     """Similarity of one vertex pair under the chosen measure.
 
     ``algorithm`` picks the ∩ kernel: ``"merge"`` (O(Δu + Δv)) or
-    ``"galloping"`` (O(min log max)) — section 6.5's tuning knob.
+    ``"galloping"`` (O(min log max)) — section 6.5's tuning knob.  Sketch
+    measures ignore ``algorithm``; ``kmv_cls`` overrides their signature
+    budget (e.g. ``kmv_set_class(32)``).
     """
+    if measure in SKETCH_MEASURES:
+        cache = KMVNeighborhoodCache(graph, kmv_cls)
+        return SKETCH_MEASURES[measure](cache, u, v)
     try:
         fn = SIMILARITY_MEASURES[measure]
     except KeyError:
-        known = ", ".join(sorted(SIMILARITY_MEASURES))
-        raise KeyError(f"unknown measure {measure!r}; known: {known}") from None
+        raise _unknown_measure(measure) from None
     common = _common(graph, u, v, algorithm)
     return fn(graph, u, v, common)
 
@@ -112,33 +178,70 @@ def score_pairs(
     pairs: Sequence[Tuple[int, int]],
     measure: str = "jaccard",
     algorithm: str = "merge",
+    kmv_cls: Optional[Type] = None,
 ) -> np.ndarray:
-    """Vectorized-driver scoring of many pairs (one ∩ per pair)."""
-    fn = SIMILARITY_MEASURES[measure]
+    """Vectorized-driver scoring of many pairs (one ∩ per pair).
+
+    Sketch measures amortize one :class:`KMVNeighborhoodCache` over the
+    whole batch: each touched neighborhood is hashed once, each pair then
+    costs O(K).
+    """
     out = np.empty(len(pairs), dtype=np.float64)
+    if measure in SKETCH_MEASURES:
+        fn = SKETCH_MEASURES[measure]
+        cache = KMVNeighborhoodCache(graph, kmv_cls)
+        for i, (u, v) in enumerate(pairs):
+            out[i] = fn(cache, u, v)
+        return out
+    try:
+        fn = SIMILARITY_MEASURES[measure]
+    except KeyError:
+        raise _unknown_measure(measure) from None
     for i, (u, v) in enumerate(pairs):
         common = _common(graph, u, v, algorithm)
         out[i] = fn(graph, u, v, common)
     return out
 
 
+def _two_hop_candidates(graph: CSRGraph, u: int) -> List[int]:
+    """Vertices ``> u`` reachable in exactly 2 hops (share ≥ 1 neighbor)."""
+    cands = set()
+    for w in graph.out_neigh(u).tolist():
+        cands.update(x for x in graph.out_neigh(w).tolist() if x > u)
+    return sorted(cands)
+
+
 def similarity_all_pairs(
     graph: CSRGraph, measure: str = "jaccard", algorithm: str = "merge",
-    min_common: int = 1,
+    min_common: int = 1, kmv_cls: Optional[Type] = None,
 ) -> List[Tuple[int, int, float]]:
     """Scores for all 2-hop pairs (pairs sharing ≥ *min_common* neighbors).
 
     Enumerating only 2-hop pairs avoids the dense n² pair space — standard
-    practice for neighborhood-based similarity.
+    practice for neighborhood-based similarity.  For sketch measures the
+    ``min_common`` filter uses the sketch ``intersect_count`` *estimate*
+    (every 2-hop pair trivially passes the default ``min_common=1``, so
+    the enumerated pair set matches the exact measures' there).
     """
-    fn = SIMILARITY_MEASURES[measure]
-    results: List[Tuple[int, int, float]] = []
+    if measure in SKETCH_MEASURES:
+        fn = SKETCH_MEASURES[measure]
+        cache = KMVNeighborhoodCache(graph, kmv_cls)
+        results: List[Tuple[int, int, float]] = []
+        for u in graph.vertices():
+            for v in _two_hop_candidates(graph, u):
+                if min_common > 1:
+                    est = cache.get(u).intersect_count(cache.get(v))
+                    if est < min_common:
+                        continue
+                results.append((u, v, fn(cache, u, v)))
+        return results
+    try:
+        fn = SIMILARITY_MEASURES[measure]
+    except KeyError:
+        raise _unknown_measure(measure) from None
+    results = []
     for u in graph.vertices():
-        # Candidates: vertices ≥ u reachable in exactly 2 hops.
-        cands = set()
-        for w in graph.out_neigh(u).tolist():
-            cands.update(x for x in graph.out_neigh(w).tolist() if x > u)
-        for v in sorted(cands):
+        for v in _two_hop_candidates(graph, u):
             common = _common(graph, u, v, algorithm)
             if len(common) >= min_common:
                 results.append((u, v, fn(graph, u, v, common)))

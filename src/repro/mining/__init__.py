@@ -2,9 +2,11 @@
 
 from .approx import (
     ApproxCountResult,
+    SketchPivotBKResult,
     approx_four_clique_count,
     approx_triangle_count,
     kclique_count_sets,
+    sketch_pivot_bron_kerbosch,
 )
 from .baselines import (
     danisch_kclique_count,
@@ -21,9 +23,11 @@ from .triangles import triangle_count_node_iterator, triangle_count_rank_merge
 
 __all__ = [
     "ApproxCountResult",
+    "SketchPivotBKResult",
     "approx_triangle_count",
     "approx_four_clique_count",
     "kclique_count_sets",
+    "sketch_pivot_bron_kerbosch",
     "BKResult",
     "bron_kerbosch",
     "bk_das",

@@ -13,20 +13,26 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Type
+from typing import List, Optional, Type
 
+import numpy as np
+
+from ..core.bit_set import BitSet
 from ..core.interface import SetBase
 from ..graph.csr import CSRGraph
 from ..graph.transforms import orient_by_rank
 from ..preprocess.ordering import compute_ordering
+from .bronkerbosch import BKResult, bron_kerbosch
 from .kclique import kclique_count
 from .triangles import triangle_count_node_iterator
 
 __all__ = [
     "ApproxCountResult",
+    "SketchPivotBKResult",
     "kclique_count_sets",
     "approx_triangle_count",
     "approx_four_clique_count",
+    "sketch_pivot_bron_kerbosch",
 ]
 
 
@@ -70,7 +76,8 @@ class ApproxCountResult:
 
 
 def kclique_count_sets(
-    graph: CSRGraph, k: int, set_cls: Type[SetBase], ordering: str = "DGR"
+    graph: CSRGraph, k: int, set_cls: Type[SetBase], ordering: str = "DGR",
+    reconcile: bool = False,
 ) -> int:
     """k-clique counting written purely in set algebra (Listing 7 shape).
 
@@ -78,6 +85,15 @@ def kclique_count_sets(
     candidate sets are ``set_cls`` instances, so the final-level
     ``intersect_count`` goes through the representation's (possibly
     estimated) counting path — this is where ProbGraph gets its speedup.
+
+    With ``reconcile=True`` the ProbGraph per-level reconciliation is
+    applied: intermediate candidate sets are computed *exactly* on the raw
+    member arrays, and only the top (innermost counting) level goes through
+    the sketch ``intersect_count`` estimator.  This stops the lean-budget
+    error from compounding down the recursion — for Bloom filters each
+    approximate ``intersect`` yields a *superset* candidate set, so with a
+    lean budget the plain recursion systematically over-counts, while the
+    reconciled one carries only a single level of estimator noise.
     """
     if k < 2:
         raise ValueError("k must be >= 2")
@@ -94,8 +110,26 @@ def kclique_count_sets(
                 total += rec(i + 1, cand.intersect(sets[v]))
         return total
 
+    def rec_reconciled(i: int, cand: np.ndarray) -> int:
+        # Exact candidate sets at every level; the estimator runs only at
+        # the counting level, over a sketch built from the exact members.
+        total = 0
+        if i + 1 == k:
+            cand_set = set_cls.from_sorted_array(cand)
+            for v in cand.tolist():
+                total += cand_set.intersect_count(sets[v])
+            return total
+        for v in cand.tolist():
+            nxt = np.intersect1d(cand, dag.out_neigh(v), assume_unique=True)
+            total += rec_reconciled(i + 1, nxt)
+        return total
+
     if k == 2:
         return sum(s.cardinality() for s in sets)
+    if reconcile:
+        return sum(
+            rec_reconciled(2, dag.out_neigh(u)) for u in dag.vertices()
+        )
     return sum(rec(2, sets[u]) for u in dag.vertices())
 
 
@@ -123,20 +157,101 @@ def approx_triangle_count(graph: CSRGraph, set_cls: Type[SetBase]) -> ApproxCoun
 
 
 def approx_four_clique_count(
-    graph: CSRGraph, set_cls: Type[SetBase], ordering: str = "DGR"
+    graph: CSRGraph, set_cls: Type[SetBase], ordering: str = "DGR",
+    reconcile: bool = False,
 ) -> ApproxCountResult:
-    """4-clique-count estimate via the set-algebra kClist recursion."""
+    """4-clique-count estimate via the set-algebra kClist recursion.
+
+    ``reconcile`` enables the per-level reconciliation of
+    :func:`kclique_count_sets` (exact candidate sets, top-level-only
+    estimates).
+    """
     t0 = time.perf_counter()
-    estimate = kclique_count_sets(graph, 4, set_cls, ordering)
+    estimate = kclique_count_sets(graph, 4, set_cls, ordering,
+                                  reconcile=reconcile)
     estimate_seconds = time.perf_counter() - t0
     t0 = time.perf_counter()
     exact = kclique_count(graph, 4, ordering).count
     exact_seconds = time.perf_counter() - t0
     return ApproxCountResult(
-        kernel="4clique",
+        kernel="4clique" + ("+reconcile" if reconcile else ""),
         set_class=set_cls.__name__,
         estimate=estimate,
         exact=exact,
+        estimate_seconds=estimate_seconds,
+        exact_seconds=exact_seconds,
+    )
+
+
+@dataclass
+class SketchPivotBKResult:
+    """Sketch-pivot Bron–Kerbosch run paired with its exact twin.
+
+    The two runs share ordering and set representation; only the pivot
+    scan differs.  ``identical`` is the headline guarantee — the clique
+    *output* must match exactly, with only the recursion shape (number of
+    recursive calls) free to move.
+    """
+
+    pivot_class: str
+    num_cliques: int
+    exact_num_cliques: int
+    identical: bool
+    estimate_calls: int
+    exact_calls: int
+    estimate_seconds: float
+    exact_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Exact-pivot seconds over sketch-pivot seconds."""
+        if self.estimate_seconds <= 0:
+            return float("inf")
+        return self.exact_seconds / self.estimate_seconds
+
+    @property
+    def call_overhead(self) -> float:
+        """Extra recursive calls caused by mis-ranked pivots (ratio)."""
+        if self.exact_calls <= 0:
+            return 0.0
+        return self.estimate_calls / self.exact_calls
+
+
+def sketch_pivot_bron_kerbosch(
+    graph: CSRGraph,
+    pivot_set_cls: Type[SetBase],
+    ordering: str = "DGR",
+    set_cls: Type[SetBase] = BitSet,
+    collect: bool = True,
+) -> SketchPivotBKResult:
+    """Run sketch-pivot BK next to exact BK and verify the outputs match.
+
+    With ``collect=True`` (the default) the canonical clique *sets* are
+    compared; otherwise only the counts.  A ``False`` ``identical`` would
+    indicate a bug — pivot choice cannot legally change BK-Pivot's output.
+    """
+    t0 = time.perf_counter()
+    est: BKResult = bron_kerbosch(
+        graph, ordering, set_cls, collect=collect, pivot_set_cls=pivot_set_cls
+    )
+    estimate_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    exact: BKResult = bron_kerbosch(graph, ordering, set_cls, collect=collect)
+    exact_seconds = time.perf_counter() - t0
+    if collect:
+        identical = (
+            sorted(tuple(sorted(c)) for c in est.cliques)
+            == sorted(tuple(sorted(c)) for c in exact.cliques)
+        )
+    else:
+        identical = est.num_cliques == exact.num_cliques
+    return SketchPivotBKResult(
+        pivot_class=pivot_set_cls.__name__,
+        num_cliques=est.num_cliques,
+        exact_num_cliques=exact.num_cliques,
+        identical=identical,
+        estimate_calls=est.recursive_calls,
+        exact_calls=exact.recursive_calls,
         estimate_seconds=estimate_seconds,
         exact_seconds=exact_seconds,
     )

@@ -31,6 +31,17 @@ The initial per-vertex candidate sets follow the splitting observation of
 section 6.2: ``P = N(v) ∩ {v_{i+1}..v_n}`` and ``X = N(v) ∩ {v_1..v_{i-1}}``
 are computed by *splitting* ``N(v)`` by rank instead of materializing the
 range sets.
+
+Sketch-assisted pivoting (``pivot_set_cls``): the Tomita pivot scan only
+feeds an **argmax** over ``|P ∩ N(u)|``, so a bounded-error estimate of the
+count is sufficient — the SISA/ProbGraph observation that estimated
+``intersect_count`` is enough wherever a count only selects a winner.
+Passing an approximate set class (``"bloom"``/``"kmv"``) as
+``pivot_set_cls`` routes *only* that scan through sketch estimators while
+``P``/``X`` and the candidate pruning stay exact.  Any ``u ∈ P ∪ X`` is a
+valid pivot for BK-Pivot, so the enumerated maximal-clique set is provably
+identical to the exact run — a mis-ranked pivot can only change the
+recursion shape (number of recursive calls), never the output.
 """
 
 from __future__ import annotations
@@ -77,10 +88,18 @@ class BKResult:
 
 
 class _BKEngine:
-    """Shared recursive kernel; adjacency is any vertex → SetBase mapping."""
+    """Shared recursive kernel; adjacency is any vertex → SetBase mapping.
 
-    def __init__(self, adjacency, collect: bool):
+    ``pivot_adjacency``/``pivot_set_cls`` optionally route the pivot scan
+    through sketch estimates (see module docstring); when unset, the scan
+    uses the exact ``adjacency``.
+    """
+
+    def __init__(self, adjacency, collect: bool,
+                 pivot_adjacency=None, pivot_set_cls=None):
         self.adjacency = adjacency
+        self.pivot_adjacency = pivot_adjacency
+        self.pivot_set_cls = pivot_set_cls
         self.cliques: Optional[List[List[int]]] = [] if collect else None
         self.num_cliques = 0
         self.calls = 0
@@ -108,11 +127,37 @@ class _BKEngine:
 
     def _choose_pivot(self, P: SetBase, X: SetBase) -> int:
         """Tomita pivot: ``u ∈ P ∪ X`` maximizing ``|P ∩ N(u)|``."""
+        if self.pivot_adjacency is not None:
+            return self._choose_pivot_sketch(P, X)
         best_u = -1
         best = -1
         adjacency = self.adjacency
         count = P.intersect_count
         for u in P.to_array().tolist():
+            c = count(adjacency[u])
+            if c > best:
+                best, best_u = c, u
+        for u in X.to_array().tolist():
+            c = count(adjacency[u])
+            if c > best:
+                best, best_u = c, u
+        return best_u
+
+    def _choose_pivot_sketch(self, P: SetBase, X: SetBase) -> int:
+        """Estimated Tomita pivot: argmax of sketch ``|P ∩ N(u)|`` counts.
+
+        One sketch of ``P`` is built per call and amortized over the whole
+        ``P ∪ X`` scan; the per-candidate count then costs O(sketch) instead
+        of O(|P| + Δ(u)).  The result is always a member of ``P ∪ X``, so
+        correctness of the enumeration is independent of estimate error.
+        """
+        members = P.to_array()
+        P_sketch = self.pivot_set_cls.from_sorted_array(members)
+        adjacency = self.pivot_adjacency
+        count = P_sketch.intersect_count
+        best_u = -1
+        best = -1
+        for u in members.tolist():
             c = count(adjacency[u])
             if c > best:
                 best, best_u = c, u
@@ -130,6 +175,7 @@ def bron_kerbosch(
     subgraph_opt: bool = False,
     collect: bool = False,
     eps: float = 0.1,
+    pivot_set_cls: Optional[Type[SetBase]] = None,
 ) -> BKResult:
     """Run the GMS Bron–Kerbosch variant selected by the arguments.
 
@@ -146,6 +192,16 @@ def bron_kerbosch(
         Also return the cliques themselves (not just the count).
     eps:
         Approximation parameter for the ADG ordering.
+    pivot_set_cls:
+        Optional (typically approximate) set representation for the pivot
+        scan only: ``|P ∩ N(u)|`` is estimated with this class's
+        ``intersect_count`` while ``P``/``X`` and the candidate pruning
+        stay in ``set_cls``.  The maximal-clique output is identical to
+        the exact run for any choice (the count only feeds an argmax over
+        valid pivots).  Under ``subgraph_opt`` the pivot sketches are built
+        once over the *full* neighborhoods rather than per-outer-vertex
+        ``H`` subgraphs; the targeted quantity is unchanged because
+        ``P ⊆ B`` implies ``P ∩ N(u) = P ∩ N_H(u)`` for every ``u ∈ B``.
     """
     t0 = time.perf_counter()
     kwargs = {"eps": eps} if ordering == "ADG" else {}
@@ -156,7 +212,14 @@ def bron_kerbosch(
     neighborhoods: Dict[int, SetBase] = {
         v: graph.neighborhood_set(v, set_cls) for v in graph.vertices()
     }
-    engine = _BKEngine(neighborhoods, collect)
+    pivot_neighborhoods = None
+    if pivot_set_cls is not None:
+        pivot_neighborhoods = {
+            v: graph.neighborhood_set(v, pivot_set_cls) for v in graph.vertices()
+        }
+    engine = _BKEngine(neighborhoods, collect,
+                       pivot_adjacency=pivot_neighborhoods,
+                       pivot_set_cls=pivot_set_cls)
     task_costs: List[float] = []
     t1 = time.perf_counter()
     for v in order_res.order.tolist():
@@ -177,6 +240,8 @@ def bron_kerbosch(
     mine_seconds = time.perf_counter() - t1
 
     name = f"BK-GMS-{order_res.name}" + ("-S" if subgraph_opt else "")
+    if pivot_set_cls is not None:
+        name += f"-SP[{pivot_set_cls.__name__}]"
     return BKResult(
         variant=name,
         num_cliques=engine.num_cliques,

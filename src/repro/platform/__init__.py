@@ -7,6 +7,7 @@ from .bench import (
     simulated_parallel_seconds,
     write_artifact,
 )
+from .budget_sweep import run_budget_sweep
 from .cli import (
     Args,
     add_sketch_budget_args,
@@ -26,6 +27,7 @@ __all__ = [
     "parse_args",
     "resolve_set_class",
     "parallel_reorder_seconds",
+    "run_budget_sweep",
     "simulated_parallel_seconds",
     "print_table",
     "write_artifact",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Type
 
 from ..core.interface import SetBase
-from ..core.registry import SET_CLASSES, get_set_class
+from ..core.registry import get_set_class, set_class_names
 from ..preprocess.ordering import ORDERINGS
 
 __all__ = [
@@ -34,6 +34,11 @@ def add_sketch_budget_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--bloom-bits", type=int, default=0,
                         help="Bloom budget in bits per element "
                              "(set-class 'bloom'; 0 = class default)")
+    parser.add_argument("--bloom-shared-bits", type=int, default=0,
+                        help="total Bloom budget in bits shared across the "
+                             "whole graph: m = total/n fixed for every "
+                             "neighborhood, making all pairs eligible for "
+                             "the popcount estimator (0 = per-set sizing)")
     parser.add_argument("--kmv-k", type=int, default=0,
                         help="KMV signature size "
                              "(set-class 'kmv'; 0 = class default)")
@@ -54,16 +59,32 @@ class Args:
     # Sketch budgets for the approximate backends; 0 keeps class defaults.
     bloom_bits: int = 0
     kmv_k: int = 0
+    bloom_shared_bits: int = 0
 
     def __post_init__(self) -> None:
         if self.threads is None:
             self.threads = [1, 2, 4, 8, 16, 32]
 
-    def resolve_set_class(self) -> Type[SetBase]:
-        """Resolve ``set_class`` honoring the sketch-budget overrides."""
+    def resolve_set_class(self, num_sets: int = 0) -> Type[SetBase]:
+        """Resolve ``set_class`` honoring the sketch-budget overrides.
+
+        ``num_sets`` (usually the graph's vertex count) is required for the
+        shared Bloom budget to take effect — without it the per-set sizing
+        flags apply.  Use :meth:`resolve_set_class_for_graph` when a graph
+        is at hand.
+        """
         return resolve_set_class(
-            self.set_class, bloom_bits=self.bloom_bits, kmv_k=self.kmv_k
+            self.set_class, bloom_bits=self.bloom_bits, kmv_k=self.kmv_k,
+            bloom_shared_bits=self.bloom_shared_bits, num_sets=num_sets,
         )
+
+    def resolve_set_class_for_graph(self, graph) -> Type[SetBase]:
+        """Resolve ``set_class`` with the shared budget split over *graph*.
+
+        The ``m = m_total / n`` choice happens here, once per graph — the
+        factory is the only place the graph size and the budget meet.
+        """
+        return self.resolve_set_class(num_sets=graph.num_nodes)
 
 
 def build_parser(description: str = "GMS reproduction benchmark") -> argparse.ArgumentParser:
@@ -75,7 +96,7 @@ def build_parser(description: str = "GMS reproduction benchmark") -> argparse.Ar
     parser.add_argument(
         "--set-class",
         default="bitset",
-        choices=sorted(SET_CLASSES),
+        choices=set_class_names(),
         help="set representation (the 5+ modularity hook)",
     )
     parser.add_argument(
@@ -112,24 +133,33 @@ def parse_args(argv: Optional[List[str]] = None,
         verbose=ns.verbose,
         bloom_bits=ns.bloom_bits,
         kmv_k=ns.kmv_k,
+        bloom_shared_bits=ns.bloom_shared_bits,
     )
 
 
 def resolve_set_class(
-    set_class: str, *, bloom_bits: int = 0, kmv_k: int = 0
+    set_class: str, *, bloom_bits: int = 0, kmv_k: int = 0,
+    bloom_shared_bits: int = 0, num_sets: int = 0,
 ) -> Type[SetBase]:
     """Resolve a set-class name, applying any sketch-budget overrides.
 
     ``bloom_bits``/``kmv_k`` of 0 keep the registered class defaults; other
     values derive a budget-configured subclass via the approx factories.
     The overrides key on the resolved class's family, so user-registered
-    Bloom/KMV subclasses honor the flags too.
+    Bloom/KMV subclasses honor the flags too.  A nonzero
+    ``bloom_shared_bits`` *and* ``num_sets`` derive a shared-budget class
+    (one fixed ``m = bloom_shared_bits / num_sets`` for all instances),
+    taking precedence over the per-element ``bloom_bits``.
     """
     cls = get_set_class(set_class)
     from ..approx import BloomFilterSet, KMVSketchSet
 
-    if bloom_bits and issubclass(cls, BloomFilterSet):
-        return cls.with_budget(bits_per_element=bloom_bits)
+    if issubclass(cls, BloomFilterSet):
+        if bloom_shared_bits and num_sets:
+            return cls.with_shared_budget(bloom_shared_bits, num_sets)
+        if bloom_bits:
+            return cls.with_budget(bits_per_element=bloom_bits)
+        return cls
     if kmv_k and issubclass(cls, KMVSketchSet):
         return cls.with_k(kmv_k)
     return cls

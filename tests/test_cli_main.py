@@ -99,3 +99,190 @@ def test_unknown_command_rejected():
 def test_unknown_dataset_raises():
     with pytest.raises(KeyError):
         main(["stats", "not-a-dataset"])
+
+
+def test_approx_bk_kernel(capsys):
+    assert main(["approx", "sc-ht-mini", "--kernel", "bk",
+                 "--set-class", "kmv"]) == 0
+    out = capsys.readouterr().out
+    assert "identical: True" in out and "maximal cliques" in out
+
+
+def test_approx_reconcile_flag(capsys):
+    assert main(["approx", "sc-ht-mini", "--kernel", "4clique",
+                 "--set-class", "bloom", "--bloom-bits", "4",
+                 "--reconcile"]) == 0
+    out = capsys.readouterr().out
+    assert "4clique+reconcile" in out
+
+
+def test_approx_shared_budget_flag(capsys):
+    # 300 vertices in sc-ht-mini; 300 * 256 total bits → m = 256 per set.
+    assert main(["approx", "sc-ht-mini", "--set-class", "bloom",
+                 "--bloom-shared-bits", str(300 * 256)]) == 0
+    assert "BloomFilterSet_m256" in capsys.readouterr().out
+
+
+def test_similarity_includes_sketch_measure(capsys):
+    assert main(["similarity", "sc-ht-mini"]) == 0
+    out = capsys.readouterr().out
+    assert "jaccard-kmv" in out
+
+
+class TestSharedParserFlags:
+    """parse_args / Args.resolve_set_class over the sketch-budget flags."""
+
+    def test_parse_args_collects_all_budget_flags(self):
+        from repro.platform import parse_args
+
+        args = parse_args(["--set-class", "bloom", "--bloom-bits", "8",
+                           "--kmv-k", "16", "--bloom-shared-bits", "4096"])
+        assert args.set_class == "bloom"
+        assert args.bloom_bits == 8
+        assert args.kmv_k == 16
+        assert args.bloom_shared_bits == 4096
+
+    def test_shared_budget_needs_num_sets(self):
+        from repro.platform import parse_args
+
+        args = parse_args(["--set-class", "bloom",
+                           "--bloom-shared-bits", "8192"])
+        # Without a graph size the shared budget cannot be split…
+        assert args.resolve_set_class().SHARED_BITS == 0
+        # …with one, the factory fixes m = 8192/16 = 512 for all instances.
+        cls = args.resolve_set_class(num_sets=16)
+        assert cls.SHARED_BITS == 512
+
+    def test_resolve_for_graph_splits_by_vertex_count(self):
+        from repro.graph import load_dataset
+        from repro.platform import parse_args
+
+        graph = load_dataset("sc-ht-mini")  # 300 vertices
+        args = parse_args(["--set-class", "bloom",
+                           "--bloom-shared-bits", str(300 * 128)])
+        cls = args.resolve_set_class_for_graph(graph)
+        assert cls.SHARED_BITS == 128
+        a = cls.from_sorted_array(graph.out_neigh(0))
+        b = cls.from_sorted_array(graph.out_neigh(299))
+        assert a.sketch_bits() == b.sketch_bits() == 128
+
+    def test_shared_budget_takes_precedence_over_per_element(self):
+        from repro.platform import resolve_set_class
+
+        cls = resolve_set_class("bloom", bloom_bits=8,
+                                bloom_shared_bits=1 << 16, num_sets=64)
+        assert cls.SHARED_BITS == 1024
+        assert resolve_set_class("bloom", bloom_bits=8).SHARED_BITS == 0
+
+    def test_budget_flags_ignored_for_non_matching_backends(self):
+        from repro.core import SortedSet
+        from repro.platform import resolve_set_class
+
+        assert resolve_set_class("sorted", bloom_shared_bits=4096,
+                                 num_sets=8) is SortedSet
+        assert resolve_set_class("kmv", bloom_shared_bits=4096,
+                                 num_sets=8).__name__ == "KMVSketchSet"
+
+    def test_unknown_backend_error_paths(self):
+        from repro.platform import build_parser, resolve_set_class
+
+        with pytest.raises(KeyError, match="unknown set class"):
+            resolve_set_class("frobnitz")
+        with pytest.raises(SystemExit):  # argparse rejects via choices
+            build_parser().parse_args(["--set-class", "frobnitz"])
+
+    def test_parser_choices_include_lazy_backends(self):
+        from repro.platform import parse_args
+
+        args = parse_args(["--set-class", "kmv", "--kmv-k", "8"])
+        assert args.resolve_set_class().K == 8
+
+
+class TestBudgetSweepCommand:
+    def test_budget_sweep_writes_artifact(self, tmp_path, monkeypatch, capsys):
+        import repro.platform.bench as bench
+
+        monkeypatch.setattr(bench, "ARTIFACT_DIR", str(tmp_path))
+        assert main(["budget-sweep", "--dataset", "sc-ht-mini",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sketch budget sweep" in out
+        artifact = tmp_path / "budget_sweep_sc-ht-mini.json"
+        assert artifact.exists()
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["rows"] and all(
+            r["bk_identical"] for r in payload["rows"]
+        )
+
+    def test_budget_sweep_listed_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "budget-sweep" in capsys.readouterr().out
+
+
+class TestLazyBackendRegistration:
+    """Regression for the registry's lazy "bloom"/"kmv" hook (no more
+    bottom-of-module circular import)."""
+
+    def test_plain_core_import_resolves_lazy_names(self):
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__)))
+        code = (
+            "import sys\n"
+            "from repro.core import get_set_class, set_class_names\n"
+            # Nothing has touched the registry yet: the backends package
+            # must not have been imported as a side effect.
+            "assert 'repro.approx' not in sys.modules, 'approx imported eagerly'\n"
+            "assert get_set_class('bloom').__name__ == 'BloomFilterSet'\n"
+            "assert get_set_class('kmv').__name__ == 'KMVSketchSet'\n"
+            "assert 'repro.approx' in sys.modules\n"
+            "assert 'bloom' in set_class_names() and 'kmv' in set_class_names()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_registry_error_message_knows_lazy_names(self):
+        from repro.core import get_set_class
+
+        with pytest.raises(KeyError, match="bloom"):
+            get_set_class("not-a-backend")
+
+    def test_direct_set_classes_reads_see_lazy_backends(self):
+        """Reading the exported SET_CLASSES dict (membership, iteration,
+        lookup) must behave exactly as under the old eager registration."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.dirname(repro.__file__)))
+        code = (
+            "import sys\n"
+            "from repro.core import SET_CLASSES\n"
+            "assert 'repro.approx' not in sys.modules\n"
+            "assert 'bloom' in SET_CLASSES and 'kmv' in SET_CLASSES\n"
+            "assert 'repro.approx' in sys.modules\n"
+            "assert SET_CLASSES['kmv'].__name__ == 'KMVSketchSet'\n"
+            "assert len(SET_CLASSES) >= 7\n"
+            "assert {'bloom', 'kmv'} <= set(SET_CLASSES)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr

@@ -10,6 +10,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import SortedSet
+from repro.platform import parallel_reorder_seconds
+from repro.platform.bench import ROUND_SYNC_SECONDS
 from repro.runtime import (
     PAPIW,
     StallModel,
@@ -179,3 +181,100 @@ class TestMetrics:
         result, peak = peak_memory_bytes(lambda: np.zeros(300_000))
         assert peak >= 300_000 * 8
         assert len(result) == 300_000
+
+
+class TestSchedulerInvariants:
+    """Hypothesis invariants for simulate_makespan (beyond the examples)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, p=st.integers(2, 48))
+    def test_dynamic_policies_non_increasing_in_threads(self, tasks, p):
+        """More workers never hurt a greedy heap schedule (p ≥ 2)."""
+        for policy in ("dynamic", "stealing"):
+            assert (
+                simulate_makespan(tasks, p + 1, policy)
+                <= simulate_makespan(tasks, p, policy) + 1e-12
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, p=st.integers(2, 48))
+    def test_dynamic_vs_single_thread_within_overhead(self, tasks, p):
+        """Going 1 → p threads can only add per-grab overhead, never work."""
+        base = simulate_makespan(tasks, 1)
+        for policy, frac in (("dynamic", 0.01), ("stealing", 0.05)):
+            slack = frac * (sum(tasks) / len(tasks)) * len(tasks)
+            assert simulate_makespan(tasks, p, policy) <= base + slack + 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, p=st.integers(1, 48))
+    def test_every_policy_at_least_max_task_and_mean_load(self, tasks, p):
+        """Makespan ≥ longest single task and ≥ work/p — all policies.
+
+        (The longest task bound holds for static too: chunks are contiguous
+        supersets of single tasks.)
+        """
+        total, longest = sum(tasks), max(tasks)
+        for policy in ("static", "dynamic", "stealing"):
+            t = simulate_makespan(tasks, p, policy)
+            assert t >= longest - 1e-12
+            assert t >= total / p - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks=task_lists, p=st.integers(1, 48))
+    def test_static_never_exceeds_serial_total(self, tasks, p):
+        """Static pays no overhead, so it can never exceed one worker's
+        serial execution (but it is *not* monotone in p — contiguous
+        chunking can split a heavy region worse at higher p, which is why
+        the monotonicity invariant above is asserted only for the greedy
+        policies)."""
+        assert simulate_makespan(tasks, p, "static") <= sum(tasks) + 1e-12
+
+
+class TestParallelReorderInvariants:
+    """Hypothesis invariants for the reordering-phase parallel model."""
+
+    seqs = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=seqs, rounds=st.integers(1, 64), p=st.integers(1, 127))
+    def test_non_increasing_in_threads(self, seq, rounds, p):
+        for ordering in ("DGR", "ADG", "DEG", "TRI"):
+            a = parallel_reorder_seconds(ordering, seq, rounds, p)
+            b = parallel_reorder_seconds(ordering, seq, rounds, p + 1)
+            assert b <= a + 1e-15
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=seqs, rounds=st.integers(1, 64), p=st.integers(1, 256))
+    def test_dgr_is_sequential_chain(self, seq, rounds, p):
+        """Exact peeling has no parallel speedup — the ADG motivation."""
+        assert parallel_reorder_seconds("DGR", seq, rounds, p) == seq
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=seqs, rounds=st.integers(1, 64), p=st.integers(1, 256))
+    def test_adg_bounds(self, seq, rounds, p):
+        """ADG: W/p plus one sync per round, bounded by the serial time
+        plus sync and floored by the round synchronization alone."""
+        t = parallel_reorder_seconds("ADG", seq, rounds, p)
+        assert t >= rounds * ROUND_SYNC_SECONDS
+        assert t >= seq / p
+        assert t <= seq + rounds * ROUND_SYNC_SECONDS + 1e-15
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=seqs, rounds=st.integers(1, 64), p=st.integers(1, 256))
+    def test_single_sort_orderings_pay_one_sync(self, seq, rounds, p):
+        for ordering in ("DEG", "TRI", "ID"):
+            t = parallel_reorder_seconds(ordering, seq, rounds, p)
+            assert t == seq / p + ROUND_SYNC_SECONDS
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=seqs, rounds=st.integers(1, 64), p=st.integers(1, 256))
+    def test_more_rounds_never_cheaper(self, seq, rounds, p):
+        a = parallel_reorder_seconds("ADG", seq, rounds, p)
+        b = parallel_reorder_seconds("ADG", seq, rounds + 1, p)
+        assert b >= a
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_reorder_seconds("ADG", 1.0, 4, 0)
+        with pytest.raises(ValueError):
+            parallel_reorder_seconds("DGR", 1.0, 4, -1)
