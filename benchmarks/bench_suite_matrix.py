@@ -1,0 +1,72 @@
+"""Experiment-suite matrix bench (the unified kernel × backend sweep).
+
+The script form runs one :class:`~repro.platform.suite.ExperimentPlan`
+through the same entry point as ``python -m repro suite``::
+
+    PYTHONPATH=src python benchmarks/bench_suite_matrix.py --smoke
+    PYTHONPATH=src python benchmarks/bench_suite_matrix.py \
+        --datasets sc-ht-mini --set-classes sorted bitset bloom kmv
+
+The pytest form asserts the unified-artifact shape the CI upload step
+publishes: every planned kernel runs under every planned backend, exact
+backends agree bit-for-bit with the reference, approximate backends carry
+a measured (not assumed) relative error, and the shared materialization
+cache actually de-duplicates the per-(backend, ordering) conversions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from itertools import product
+
+import pytest
+
+from repro.platform.suite import (
+    ExperimentPlan,
+    run_suite,
+    main as suite_main,
+)
+from repro.platform.bench import write_artifact
+
+
+@pytest.mark.benchmark(group="suite")
+def test_suite_smoke_matrix(benchmark, show_table):
+    """The CI smoke plan, with the artifact schema asserted."""
+    plan = ExperimentPlan.smoke()
+    payloads = benchmark.pedantic(
+        lambda: run_suite(plan), rounds=1, iterations=1
+    )
+    assert len(payloads) == len(plan.datasets) == 1
+    payload = payloads[0]
+    path = write_artifact(f"suite_{payload['dataset']}", payload)
+    assert os.path.exists(path)
+    with open(path) as handle:
+        on_disk = json.load(handle)
+    assert on_disk["schema"] == "gms-suite/v1"
+
+    cells = payload["cells"]
+    show_table(
+        f"suite — {payload['dataset']}",
+        ["kernel", "order", "backend", "exact", "value", "rel err"],
+        [
+            [c["kernel"], c["ordering"], c["set_class"],
+             c["exact"], c["value"], f"{100 * c['rel_error']:.2f}%"]
+            for c in cells
+        ],
+    )
+
+    # Coverage: every kernel × backend pair of the plan has a cell (the
+    # reference backend rides along with the two planned ones).
+    backends = set(plan.set_classes) | {payload["reference_backend"]}
+    seen = {(c["kernel"], c["set_class"]) for c in cells}
+    for kernel, backend in product(plan.kernels, backends):
+        assert (kernel, backend) in seen
+    # Exact backends agree with the reference on every cell.
+    assert all(c["rel_error"] == 0.0 for c in cells if c["exact"])
+    # The shared cache de-duplicates materializations across cells.
+    assert payload["materialization"]["hits"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(suite_main())

@@ -15,6 +15,12 @@ Commands
 ``similarity <dataset>``link-prediction effectiveness of every measure
 ``color <dataset>``     graph coloring (JP priorities / Johansson)
 ``budget-sweep``        CLI-driven sketch-budget sweep → results/ artifact
+``suite``               declarative kernel × backend × ordering experiment
+                        suite (``--smoke`` for the tiny CI matrix) →
+                        ``results/suite_<dataset>.json``
+``aggregate``           merge suite + budget-sweep artifacts into
+                        ``results/aggregate.json`` (per-backend
+                        speed-vs-accuracy summaries)
 """
 
 from __future__ import annotations
@@ -90,6 +96,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("rest", nargs=argparse.REMAINDER)
 
+    p = sub.add_parser(
+        "suite",
+        help="declarative kernel × backend × ordering experiment suite "
+             "(--smoke for the tiny CI matrix; writes "
+             "results/suite_<dataset>.json)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+
+    p = sub.add_parser(
+        "aggregate",
+        help="merge suite/budget-sweep artifacts into results/aggregate.json",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+
     p = sub.add_parser("color", help="graph coloring")
     p.add_argument("dataset")
     p.add_argument("--method", default="JP-SL",
@@ -108,6 +130,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .platform.budget_sweep import main as budget_sweep_main
 
         return budget_sweep_main(argv[1:])
+    if argv and argv[0] == "suite":
+        # Same forwarding pattern: the suite owns its own parser (plan
+        # selection + the shared sketch-budget flags).
+        from .platform.suite import main as suite_main
+
+        return suite_main(argv[1:])
+    if argv and argv[0] == "aggregate":
+        from .platform.aggregate import main as aggregate_main
+
+        return aggregate_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "datasets":
@@ -150,6 +182,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.set_class, bloom_bits=args.bloom_bits, kmv_k=args.kmv_k,
                 bloom_shared_bits=args.bloom_shared_bits,
                 num_sets=graph.num_nodes,
+                bloom_fpr=args.bloom_fpr,
+                avg_set_size=(
+                    2.0 * graph.num_edges / graph.num_nodes
+                    if graph.num_nodes else 0.0
+                ),
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)

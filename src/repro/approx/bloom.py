@@ -143,10 +143,12 @@ class BloomFilterSet(SetBase):
     @classmethod
     def from_iterable(cls, elements: Iterable[int]) -> "BloomFilterSet":
         arr = np.fromiter(elements, dtype=np.int64)
+        COUNTERS.record_sketch_build()
         return cls(np.unique(arr), _trusted=True)
 
     @classmethod
     def from_sorted_array(cls, array: np.ndarray) -> "BloomFilterSet":
+        COUNTERS.record_sketch_build()
         return cls(np.asarray(array, dtype=np.int64), _trusted=True)
 
     # -- core algebra ---------------------------------------------------
@@ -349,14 +351,25 @@ class BloomFilterSet(SetBase):
         sets: ``m = total_bits / num_sets``, rounded *down* to a power of
         two so the rounding itself never exceeds the global budget — but
         each filter is floored at 64 bits (one word), so totals leaner
-        than ``64 * num_sets`` are silently promoted to that floor and
-        every such total yields the same class.  With all filters
-        equal-sized, every ``intersect_count`` pair takes the pure
+        than ``64 * num_sets`` are promoted to that floor (with an explicit
+        ``UserWarning``, since the promotion overruns the requested global
+        budget) and every such total yields the same class.  With all
+        filters equal-sized, every ``intersect_count`` pair takes the pure
         popcount estimator — the disparate-budget probe fallback never
         triggers.
         """
         if total_bits < 64 or num_sets < 1:
             raise ValueError("shared bloom budget parameters out of range")
+        if total_bits // num_sets < 64:
+            import warnings
+
+            warnings.warn(
+                f"shared Bloom budget of {total_bits} bits over {num_sets} "
+                f"sets is below the 64-bit/filter floor; promoting every "
+                f"filter to 64 bits (actual total {64 * num_sets} bits)",
+                UserWarning,
+                stacklevel=2,
+            )
         per_set = max(64, total_bits // num_sets)
         m = 1 << (per_set.bit_length() - 1)
         hashes = cls.NUM_HASHES if num_hashes is None else num_hashes

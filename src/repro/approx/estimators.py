@@ -59,6 +59,7 @@ __all__ = [
     "bloom_intersection_estimate",
     "bloom_intersection_stddev",
     "bloom_false_positive_rate",
+    "bloom_bits_for_fpr",
     "kmv_cardinality_estimate",
     "kmv_merge",
     "kmv_jaccard_estimate",
@@ -102,6 +103,27 @@ def bloom_false_positive_rate(n: int, num_bits: int, num_hashes: int) -> float:
     """Probability that a ``contains`` probe of a non-member answers True."""
     fill = 1.0 - math.exp(-num_hashes * n / num_bits)
     return fill**num_hashes
+
+
+def bloom_bits_for_fpr(n: int, fpr: float, num_hashes: int) -> int:
+    """Minimum filter bits so ``n`` elements probe below a target FPR.
+
+    Inverts the Swamidass–Baldi fill model behind
+    :func:`bloom_false_positive_rate`: solving
+    ``(1 - e^{-kn/m})^k ≤ p`` for the filter size gives ::
+
+        m ≥ -k·n / ln(1 - p^{1/k})
+
+    This is the auto-sizing rule for the ``--bloom-fpr`` budget flag — the
+    operator states an accuracy target and the platform derives the
+    storage budget, instead of the other way around.
+    """
+    if not (0.0 < fpr < 1.0):
+        raise ValueError("target false-positive rate must be in (0, 1)")
+    if n < 1 or num_hashes < 1:
+        raise ValueError("n and num_hashes must be >= 1")
+    fill = fpr ** (1.0 / num_hashes)
+    return int(math.ceil(-num_hashes * n / math.log1p(-fill)))
 
 
 # ----------------------------------------------------------------------

@@ -87,10 +87,12 @@ class KMVSketchSet(SetBase):
     @classmethod
     def from_iterable(cls, elements: Iterable[int]) -> "KMVSketchSet":
         arr = np.fromiter(elements, dtype=np.int64)
+        COUNTERS.record_sketch_build()
         return cls(np.unique(arr), _trusted=True)
 
     @classmethod
     def from_sorted_array(cls, array: np.ndarray) -> "KMVSketchSet":
+        COUNTERS.record_sketch_build()
         return cls(np.asarray(array, dtype=np.int64), _trusted=True)
 
     # -- core algebra (exact on the member store) --------------------------

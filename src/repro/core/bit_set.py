@@ -72,6 +72,14 @@ class BitSet(SetBase):
         COUNTERS.record_bulk(self._words() + b._words(), 0)
         return (self._bits & b._bits).bit_count()
 
+    def intersect_inplace(self, other: SetBase) -> None:
+        # Genuinely in-place (no intermediate BitSet as in the generic
+        # default): one big-int AND, rebound onto this set's payload.
+        b = self._coerce(other)
+        out = self._bits & b._bits
+        COUNTERS.record_bulk(self._words() + b._words(), _word_count(out))
+        self._bits = out
+
     def union(self, other: SetBase) -> "BitSet":
         b = self._coerce(other)
         out = self._bits | b._bits

@@ -32,9 +32,15 @@ class Counters:
         Elements touched as operation inputs — the memory-read proxy.
     elements_written:
         Elements materialized as operation outputs — the memory-write proxy.
+    sketch_builds:
+        Sketch constructions from raw member arrays (Bloom filter fills,
+        KMV signature hashes) — the metric behind the incremental-pivot
+        regression tests: maintaining a sketch incrementally must not
+        rebuild it from scratch once per recursive call.
     """
 
-    __slots__ = ("set_ops", "point_ops", "elements_read", "elements_written")
+    __slots__ = ("set_ops", "point_ops", "elements_read", "elements_written",
+                 "sketch_builds")
 
     def __init__(self) -> None:
         self.reset()
@@ -45,6 +51,7 @@ class Counters:
         self.point_ops = 0
         self.elements_read = 0
         self.elements_written = 0
+        self.sketch_builds = 0
 
     # The two record methods are deliberately tiny: they sit on the hot path
     # of every set operation.
@@ -58,6 +65,10 @@ class Counters:
         """Record one point operation (membership test, add, remove)."""
         self.point_ops += 1
         self.elements_read += read
+
+    def record_sketch_build(self) -> None:
+        """Record one from-scratch sketch construction (full member hash)."""
+        self.sketch_builds += 1
 
     @property
     def memory_traffic(self) -> int:
@@ -73,6 +84,7 @@ class Snapshot:
     point_ops: int
     elements_read: int
     elements_written: int
+    sketch_builds: int = 0
 
     def delta(self, later: "Snapshot") -> "Snapshot":
         """Return the counter increments between ``self`` and *later*."""
@@ -81,6 +93,7 @@ class Snapshot:
             point_ops=later.point_ops - self.point_ops,
             elements_read=later.elements_read - self.elements_read,
             elements_written=later.elements_written - self.elements_written,
+            sketch_builds=later.sketch_builds - self.sketch_builds,
         )
 
     @property
@@ -99,6 +112,7 @@ def snapshot() -> Snapshot:
         point_ops=COUNTERS.point_ops,
         elements_read=COUNTERS.elements_read,
         elements_written=COUNTERS.elements_written,
+        sketch_builds=COUNTERS.sketch_builds,
     )
 
 

@@ -169,6 +169,17 @@ class SetBase(ABC):
         result.add(element)
         return result
 
+    def assign(self, other: "SetBase") -> None:
+        """Overwrite this set's contents with *other*'s (``A = B``).
+
+        The buffer-reuse primitive of the kClist-style kernels: a
+        per-recursion-level scratch set is ``assign``-ed from the parent
+        candidates and then shrunk with :meth:`intersect_inplace`, so the
+        live memory stays bounded by ``Σ_i |C_i|`` instead of allocating a
+        fresh set per visited candidate.
+        """
+        self._replace_with(self._coerce(other))
+
     @abstractmethod
     def _replace_with(self, other: "SetBase") -> None:
         """Overwrite this set's payload with *other*'s (same class)."""

@@ -57,6 +57,14 @@ class SortedSet(SetBase):
         COUNTERS.record_bulk(len(self._data) + len(b._data), 0)
         return len(_intersect_arrays(self._data, b._data))
 
+    def intersect_inplace(self, other: SetBase) -> None:
+        # One merge, rebound in place — skips the intermediate SortedSet
+        # (and its copy) that the generic default would build.
+        b = self._coerce(other)
+        out = _intersect_arrays(self._data, b._data)
+        COUNTERS.record_bulk(len(self._data) + len(b._data), len(out))
+        self._data = out
+
     def union(self, other: SetBase) -> "SortedSet":
         b = self._coerce(other)
         out = np.union1d(self._data, b._data)

@@ -19,15 +19,28 @@ from .builder import build_directed, build_undirected, edges_to_array, from_netw
 from .csr import CSRGraph
 from .datasets import DATASETS, DatasetSpec, dataset_names, load_dataset, suite
 from .io import load_npz, read_edge_list, save_npz, write_edge_list
-from .set_graph import SetGraph, build_set_graph
+from .set_graph import (
+    MaterializationCache,
+    SetGraph,
+    build_oriented_set_graph,
+    build_set_graph,
+)
 from .stats import GraphSummary, summarize, total_triangles, triangle_counts
-from .transforms import induced_subgraph, orient_by_rank, permute, split_neighbors
+from .transforms import (
+    induced_subgraph,
+    orient_by_rank,
+    oriented_arcs,
+    permute,
+    split_neighbors,
+)
 from . import generators
 
 __all__ = [
     "CSRGraph",
     "SetGraph",
+    "MaterializationCache",
     "build_set_graph",
+    "build_oriented_set_graph",
     "build_undirected",
     "build_directed",
     "edges_to_array",
@@ -47,6 +60,7 @@ __all__ = [
     "total_triangles",
     "triangle_counts",
     "orient_by_rank",
+    "oriented_arcs",
     "permute",
     "induced_subgraph",
     "split_neighbors",

@@ -5,17 +5,38 @@ representation in use — the Python rendering of the C++ ``SetGraph<TSet>``
 template.  Swapping the set class changes the layout of every neighborhood
 (sorted arrays ↔ roaring bitmaps ↔ hash tables ↔ dense bitvectors) without
 touching any algorithm code.
+
+Besides the plain :func:`build_set_graph` conversion, this module provides
+the two materialization services the unified mining pipeline is built on:
+
+* :func:`build_oriented_set_graph` — the ``dir(G)`` step (Listing 7) fused
+  with representation conversion: the arc filter ``η(v) < η(u)`` and the
+  per-vertex set construction run in one pass, without materializing an
+  intermediate oriented CSR graph.
+* :class:`MaterializationCache` — memoizes orderings and (graph, backend,
+  ordering) materializations, so an experiment-suite run converts each
+  combination exactly once no matter how many kernels consume it.
+  Neighborhood sets handed out by the cache are **shared and read-only by
+  contract**: kernels must clone (or ``intersect`` into fresh sets) before
+  mutating.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Type
+from typing import Dict, List, Sequence, Tuple, Type
+
+import numpy as np
 
 from ..core.interface import SetBase
 from ..core.roaring import RoaringSet
 from .csr import CSRGraph
 
-__all__ = ["SetGraph", "build_set_graph"]
+__all__ = [
+    "SetGraph",
+    "build_set_graph",
+    "build_oriented_set_graph",
+    "MaterializationCache",
+]
 
 
 class SetGraph:
@@ -45,6 +66,12 @@ class SetGraph:
 
     def out_neigh(self, v: int) -> SetBase:
         """Return ``N(v)`` as a set (shared object — clone before mutating)."""
+        return self._neighborhoods[v]
+
+    def __getitem__(self, v: int) -> SetBase:
+        """Index access to neighborhoods — lets a ``SetGraph`` drop in
+        anywhere a ``vertex → SetBase`` mapping (dict/list adjacency) is
+        expected, e.g. the Bron–Kerbosch engine."""
         return self._neighborhoods[v]
 
     def out_degree(self, v: int) -> int:
@@ -93,3 +120,121 @@ def build_set_graph(graph: CSRGraph, set_cls: Type[SetBase]) -> SetGraph:
         set_cls.from_sorted_array(graph.out_neigh(v)) for v in graph.vertices()
     ]
     return SetGraph(neighborhoods, set_cls, directed=graph.directed)
+
+
+def build_oriented_set_graph(
+    graph: CSRGraph, rank: np.ndarray, set_cls: Type[SetBase]
+) -> SetGraph:
+    """Materialize the rank-oriented DAG directly as a :class:`SetGraph`.
+
+    Fuses the ``dir(G)`` arc filter of Listing 7 (keep ``v → u`` iff
+    ``η(v) < η(u)``, ties broken by vertex ID — the shared
+    :func:`~repro.graph.transforms.oriented_arcs` rule) with the
+    representation conversion: the surviving out-neighborhoods are
+    converted straight into ``set_cls`` sets — no intermediate oriented
+    ``CSRGraph`` is allocated.
+    """
+    from .transforms import oriented_arcs
+
+    offsets, arcs_dst = oriented_arcs(graph, rank)
+    neighborhoods = [
+        set_cls.from_sorted_array(arcs_dst[offsets[v] : offsets[v + 1]])
+        for v in range(graph.num_nodes)
+    ]
+    return SetGraph(neighborhoods, set_cls, directed=True)
+
+
+class MaterializationCache:
+    """Memoizes the per-(graph, backend, ordering) materialization work.
+
+    An experiment-suite run sweeps kernels × backends × orderings over one
+    graph; without caching, every cell would recompute the vertex ordering
+    and re-convert every neighborhood.  This cache memoizes the three
+    products along the way:
+
+    * ``ordering(graph, name, **kwargs)`` — the
+      :class:`~repro.preprocess.ordering.OrderingResult`;
+    * ``set_graph(graph, set_cls)`` — the undirected :class:`SetGraph`;
+    * ``oriented(graph, set_cls, name, **kwargs)`` — the ordering together
+      with the rank-oriented :class:`SetGraph` DAG.
+
+    Entries are keyed by graph *identity* (plus backend class and ordering
+    parameters); the cache keeps a strong reference to each keyed graph so
+    an ``id()`` can never be recycled while its entry is alive.  The cache
+    is meant to be owned by a driver (one per suite run) and dropped
+    afterwards, not kept as a process-global.
+
+    Contract: every :class:`SetGraph` handed out is **shared and
+    read-only** — kernels must not mutate its neighborhood sets.
+    ``hits``/``misses`` meter the materialization savings and are reported
+    in the suite artifact.
+    """
+
+    def __init__(self) -> None:
+        self._orderings: Dict[tuple, object] = {}
+        self._set_graphs: Dict[tuple, SetGraph] = {}
+        self._oriented: Dict[tuple, SetGraph] = {}
+        self._pinned: Dict[int, CSRGraph] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, graph: CSRGraph) -> int:
+        self._pinned[id(graph)] = graph
+        return id(graph)
+
+    def ordering(self, graph: CSRGraph, name: str, **kwargs):
+        """Memoized :func:`~repro.preprocess.ordering.compute_ordering`."""
+        key = (self._key(graph), name, tuple(sorted(kwargs.items())))
+        if key in self._orderings:
+            self.hits += 1
+            return self._orderings[key]
+        from ..preprocess.ordering import compute_ordering
+
+        self.misses += 1
+        result = compute_ordering(graph, name, **kwargs)
+        self._orderings[key] = result
+        return result
+
+    def set_graph(self, graph: CSRGraph, set_cls: Type[SetBase]) -> SetGraph:
+        """Memoized :func:`build_set_graph` for one backend."""
+        key = (self._key(graph), set_cls)
+        if key in self._set_graphs:
+            self.hits += 1
+            return self._set_graphs[key]
+        self.misses += 1
+        sg = build_set_graph(graph, set_cls)
+        self._set_graphs[key] = sg
+        return sg
+
+    def oriented(
+        self, graph: CSRGraph, set_cls: Type[SetBase], name: str, **kwargs
+    ) -> Tuple[object, SetGraph]:
+        """Memoized ``(OrderingResult, oriented SetGraph)`` for one cell."""
+        order_res = self.ordering(graph, name, **kwargs)
+        key = (self._key(graph), set_cls, name, tuple(sorted(kwargs.items())))
+        if key in self._oriented:
+            self.hits += 1
+            return order_res, self._oriented[key]
+        self.misses += 1
+        dag = build_oriented_set_graph(graph, order_res.rank, set_cls)
+        self._oriented[key] = dag
+        return order_res, dag
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/entry counts for the suite artifact."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "orderings": len(self._orderings),
+            "set_graphs": len(self._set_graphs),
+            "oriented": len(self._oriented),
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (and the graph references pinning the keys)."""
+        self._orderings.clear()
+        self._set_graphs.clear()
+        self._oriented.clear()
+        self._pinned.clear()
+        self.hits = 0
+        self.misses = 0

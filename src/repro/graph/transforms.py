@@ -19,7 +19,41 @@ import numpy as np
 from .builder import build_undirected
 from .csr import CSRGraph
 
-__all__ = ["orient_by_rank", "permute", "induced_subgraph", "split_neighbors"]
+__all__ = [
+    "oriented_arcs",
+    "orient_by_rank",
+    "permute",
+    "induced_subgraph",
+    "split_neighbors",
+]
+
+
+def oriented_arcs(
+    graph: CSRGraph, rank: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``dir(G)`` arc filter: ``(offsets, targets)`` of the oriented DAG.
+
+    Keeps arcs ``v → u`` with ``η(v) < η(u)`` (ties broken by vertex ID so
+    the output is always a proper DAG), vectorized over all arcs at once.
+    The single source of the orientation rule — both the CSR-producing
+    :func:`orient_by_rank` and the set-materializing
+    :func:`repro.graph.set_graph.build_oriented_set_graph` build on it, so
+    the two paths can never diverge.
+    """
+    if graph.directed:
+        raise ValueError("arc orientation expects an undirected graph")
+    rank = np.asarray(rank)
+    n = graph.num_nodes
+    sources = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    targets = graph.adjacency
+    keep = (rank[sources] < rank[targets]) | (
+        (rank[sources] == rank[targets]) & (sources < targets)
+    )
+    counts = np.bincount(sources[keep], minlength=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    # Arcs stay grouped by source (CSR order) and sorted by target.
+    return offsets, targets[keep]
 
 
 def orient_by_rank(graph: CSRGraph, rank: np.ndarray) -> CSRGraph:
@@ -28,21 +62,7 @@ def orient_by_rank(graph: CSRGraph, rank: np.ndarray) -> CSRGraph:
     ``rank`` maps vertex → position in the chosen order η; ties are broken
     by vertex ID so the output is always a proper DAG.
     """
-    if graph.directed:
-        raise ValueError("orient_by_rank expects an undirected graph")
-    rank = np.asarray(rank)
-    n = graph.num_nodes
-    sources = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
-    targets = graph.adjacency
-    keep = (rank[sources] < rank[targets]) | (
-        (rank[sources] == rank[targets]) & (sources < targets)
-    )
-    arcs_src = sources[keep]
-    arcs_dst = targets[keep]
-    counts = np.bincount(arcs_src, minlength=n)
-    offsets = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    # Arcs are already grouped by source (CSR order) and sorted by target.
+    offsets, arcs_dst = oriented_arcs(graph, rank)
     return CSRGraph(offsets, arcs_dst, directed=True)
 
 

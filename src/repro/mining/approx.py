@@ -15,13 +15,11 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Type
 
-import numpy as np
-
 from ..core.bit_set import BitSet
 from ..core.interface import SetBase
+from ..core.sorted_set import SortedSet
 from ..graph.csr import CSRGraph
-from ..graph.transforms import orient_by_rank
-from ..preprocess.ordering import compute_ordering
+from ..graph.set_graph import MaterializationCache
 from .bronkerbosch import BKResult, bron_kerbosch
 from .kclique import kclique_count
 from .triangles import triangle_count_node_iterator
@@ -78,6 +76,7 @@ class ApproxCountResult:
 def kclique_count_sets(
     graph: CSRGraph, k: int, set_cls: Type[SetBase], ordering: str = "DGR",
     reconcile: bool = False,
+    cache: Optional[MaterializationCache] = None,
 ) -> int:
     """k-clique counting written purely in set algebra (Listing 7 shape).
 
@@ -87,64 +86,75 @@ def kclique_count_sets(
     estimated) counting path — this is where ProbGraph gets its speedup.
 
     With ``reconcile=True`` the ProbGraph per-level reconciliation is
-    applied: intermediate candidate sets are computed *exactly* on the raw
-    member arrays, and only the top (innermost counting) level goes through
-    the sketch ``intersect_count`` estimator.  This stops the lean-budget
-    error from compounding down the recursion — for Bloom filters each
-    approximate ``intersect`` yields a *superset* candidate set, so with a
-    lean budget the plain recursion systematically over-counts, while the
-    reconciled one carries only a single level of estimator noise.
+    applied: intermediate candidate sets are computed *exactly* — as
+    :class:`~repro.core.sorted_set.SortedSet` candidates over an exact
+    twin of the oriented DAG — and only the top (innermost counting) level
+    goes through the sketch ``intersect_count`` estimator.  This stops the
+    lean-budget error from compounding down the recursion — for Bloom
+    filters each approximate ``intersect`` yields a *superset* candidate
+    set, so with a lean budget the plain recursion systematically
+    over-counts, while the reconciled one carries only a single level of
+    estimator noise.
+
+    Both oriented materializations (the ``set_cls`` DAG and, under
+    ``reconcile``, its exact twin) go through *cache*, so a suite run
+    shares them across kernels and budgets.
     """
     if k < 2:
         raise ValueError("k must be >= 2")
-    order_res = compute_ordering(graph, ordering)
-    dag = orient_by_rank(graph, order_res.rank)
-    sets = [dag.neighborhood_set(v, set_cls) for v in dag.vertices()]
+    if cache is None:
+        cache = MaterializationCache()
+    _, dag = cache.oriented(graph, set_cls, ordering)
 
     def rec(i: int, cand: SetBase) -> int:
         total = 0
         for v in cand:
             if i + 1 == k:
-                total += cand.intersect_count(sets[v])
+                total += cand.intersect_count(dag[v])
             else:
-                total += rec(i + 1, cand.intersect(sets[v]))
-        return total
-
-    def rec_reconciled(i: int, cand: np.ndarray) -> int:
-        # Exact candidate sets at every level; the estimator runs only at
-        # the counting level, over a sketch built from the exact members.
-        total = 0
-        if i + 1 == k:
-            cand_set = set_cls.from_sorted_array(cand)
-            for v in cand.tolist():
-                total += cand_set.intersect_count(sets[v])
-            return total
-        for v in cand.tolist():
-            nxt = np.intersect1d(cand, dag.out_neigh(v), assume_unique=True)
-            total += rec_reconciled(i + 1, nxt)
+                total += rec(i + 1, cand.intersect(dag[v]))
         return total
 
     if k == 2:
-        return sum(s.cardinality() for s in sets)
+        return sum(dag.out_degree(v) for v in dag.vertices())
     if reconcile:
+        _, exact_dag = cache.oriented(graph, SortedSet, ordering)
+
+        def rec_reconciled(i: int, cand: SetBase) -> int:
+            # Exact candidate sets at every level; the estimator runs only
+            # at the counting level, over a sketch built from the exact
+            # members.
+            total = 0
+            if i + 1 == k:
+                cand_sketch = set_cls.from_sorted_array(cand.to_array())
+                for v in cand.to_array().tolist():
+                    total += cand_sketch.intersect_count(dag[v])
+                return total
+            for v in cand.to_array().tolist():
+                total += rec_reconciled(i + 1, cand.intersect(exact_dag[v]))
+            return total
+
         return sum(
-            rec_reconciled(2, dag.out_neigh(u)) for u in dag.vertices()
+            rec_reconciled(2, exact_dag[u]) for u in exact_dag.vertices()
         )
-    return sum(rec(2, sets[u]) for u in dag.vertices())
+    return sum(rec(2, dag[u]) for u in dag.vertices())
 
 
-def approx_triangle_count(graph: CSRGraph, set_cls: Type[SetBase]) -> ApproxCountResult:
+def approx_triangle_count(
+    graph: CSRGraph, set_cls: Type[SetBase],
+    cache: Optional[MaterializationCache] = None,
+) -> ApproxCountResult:
     """Triangle-count estimate via the *unmodified* node-iterator kernel.
 
-    The exact baseline runs the *same* node-iterator scheme on raw sorted
-    arrays, so the reported speedup isolates the set representation rather
-    than comparing different counting algorithms.
+    The exact baseline runs the *same* node-iterator scheme on the exact
+    sorted-array representation, so the reported speedup isolates the set
+    representation rather than comparing different counting algorithms.
     """
     t0 = time.perf_counter()
-    estimate = triangle_count_node_iterator(graph, set_cls=set_cls)
+    estimate = triangle_count_node_iterator(graph, set_cls=set_cls, cache=cache)
     estimate_seconds = time.perf_counter() - t0
     t0 = time.perf_counter()
-    exact = triangle_count_node_iterator(graph)
+    exact = triangle_count_node_iterator(graph, cache=cache)
     exact_seconds = time.perf_counter() - t0
     return ApproxCountResult(
         kernel="tc",
@@ -159,6 +169,7 @@ def approx_triangle_count(graph: CSRGraph, set_cls: Type[SetBase]) -> ApproxCoun
 def approx_four_clique_count(
     graph: CSRGraph, set_cls: Type[SetBase], ordering: str = "DGR",
     reconcile: bool = False,
+    cache: Optional[MaterializationCache] = None,
 ) -> ApproxCountResult:
     """4-clique-count estimate via the set-algebra kClist recursion.
 
@@ -168,10 +179,10 @@ def approx_four_clique_count(
     """
     t0 = time.perf_counter()
     estimate = kclique_count_sets(graph, 4, set_cls, ordering,
-                                  reconcile=reconcile)
+                                  reconcile=reconcile, cache=cache)
     estimate_seconds = time.perf_counter() - t0
     t0 = time.perf_counter()
-    exact = kclique_count(graph, 4, ordering).count
+    exact = kclique_count(graph, 4, ordering, cache=cache).count
     exact_seconds = time.perf_counter() - t0
     return ApproxCountResult(
         kernel="4clique" + ("+reconcile" if reconcile else ""),

@@ -15,19 +15,21 @@ The paper compares GMS's k-clique listing against:
   is 10–100× slower than the specialized algorithms (section 8.12).
 
 These are *honest* re-implementations of each design's control structure,
-so the relative ordering emerges from the real extra work each performs.
+so the relative ordering emerges from the real extra work each performs —
+but all of them now speak the same :class:`~repro.core.interface.SetBase`
+algebra over a materialized :class:`~repro.graph.set_graph.SetGraph`, so
+the baselines, too, run under every registered set representation.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Type
 
-import numpy as np
-
+from ..core.interface import SetBase
+from ..core.sorted_set import SortedSet
 from ..graph.csr import CSRGraph
-from ..graph.transforms import orient_by_rank
-from ..preprocess.ordering import compute_ordering
+from ..graph.set_graph import MaterializationCache
 from .kclique import KCliqueResult
 
 __all__ = [
@@ -37,20 +39,26 @@ __all__ = [
 ]
 
 
-def gbbs_kclique_count(graph: CSRGraph, k: int) -> KCliqueResult:
+def gbbs_kclique_count(
+    graph: CSRGraph,
+    k: int,
+    set_cls: Optional[Type[SetBase]] = None,
+    cache: Optional[MaterializationCache] = None,
+) -> KCliqueResult:
     """GBBS-style k-clique: node-parallel, DGR order, intersections."""
+    cls = set_cls or SortedSet
+    if cache is None:
+        cache = MaterializationCache()
     t0 = time.perf_counter()
-    order_res = compute_ordering(graph, "DGR")
-    dag = orient_by_rank(graph, order_res.rank)
+    order_res, dag = cache.oriented(graph, cls, "DGR")
     reorder = time.perf_counter() - t0
 
-    def rec(i: int, candidates: np.ndarray) -> int:
+    def rec(i: int, candidates: SetBase) -> int:
         if i == k:
-            return len(candidates)
+            return candidates.cardinality()
         total = 0
-        for v in candidates.tolist():
-            total += rec(i + 1, np.intersect1d(dag.out_neigh(v), candidates,
-                                               assume_unique=True))
+        for v in candidates.to_array().tolist():
+            total += rec(i + 1, candidates.intersect(dag[v]))
         return total
 
     total = 0
@@ -58,7 +66,7 @@ def gbbs_kclique_count(graph: CSRGraph, k: int) -> KCliqueResult:
     t1 = time.perf_counter()
     for u in dag.vertices():
         tv = time.perf_counter()
-        total += rec(2, dag.out_neigh(u))
+        total += rec(2, dag[u])
         costs.append(time.perf_counter() - tv)
     return KCliqueResult(
         variant="GBBS", k=k, count=total, reorder_seconds=reorder,
@@ -66,32 +74,38 @@ def gbbs_kclique_count(graph: CSRGraph, k: int) -> KCliqueResult:
     )
 
 
-def danisch_kclique_count(graph: CSRGraph, k: int) -> KCliqueResult:
+def danisch_kclique_count(
+    graph: CSRGraph,
+    k: int,
+    set_cls: Optional[Type[SetBase]] = None,
+    cache: Optional[MaterializationCache] = None,
+) -> KCliqueResult:
     """Edge-parallel kClist with per-level induced-subgraph construction.
 
     At every recursion level the original allocates and fills a relabeled
     adjacency structure for the candidate subgraph before recursing — the
     work the GMS reformulation's direct set intersections avoid.
     """
+    cls = set_cls or SortedSet
+    if cache is None:
+        cache = MaterializationCache()
     t0 = time.perf_counter()
-    order_res = compute_ordering(graph, "DGR")
-    dag = orient_by_rank(graph, order_res.rank)
+    order_res, dag = cache.oriented(graph, cls, "DGR")
     reorder = time.perf_counter() - t0
 
-    def build_local(candidates: np.ndarray) -> Dict[int, np.ndarray]:
+    def build_local(candidates: SetBase) -> Dict[int, SetBase]:
         # The induced DAG on the candidates — rebuilt at every level.
         return {
-            int(v): np.intersect1d(dag.out_neigh(int(v)), candidates,
-                                   assume_unique=True)
-            for v in candidates.tolist()
+            int(v): dag[int(v)].intersect(candidates)
+            for v in candidates.to_array().tolist()
         }
 
-    def rec(i: int, candidates: np.ndarray) -> int:
+    def rec(i: int, candidates: SetBase) -> int:
         if i == k:
-            return len(candidates)
+            return candidates.cardinality()
         local = build_local(candidates)
         total = 0
-        for v in candidates.tolist():
+        for v in candidates.to_array().tolist():
             total += rec(i + 1, local[v])
         return total
 
@@ -99,18 +113,19 @@ def danisch_kclique_count(graph: CSRGraph, k: int) -> KCliqueResult:
     costs: List[float] = []
     t1 = time.perf_counter()
     if k == 2:
-        total = dag.num_edges  # edge-parallel degenerates to arc counting
+        total = sum(dag.out_degree(v) for v in dag.vertices())
     for u in dag.vertices():
         if k == 2:
             break
-        neigh_u = dag.out_neigh(u)
-        for v in neigh_u.tolist():
+        neigh_u = dag[u]
+        for v in neigh_u.to_array().tolist():
             tv = time.perf_counter()
-            c3 = np.intersect1d(neigh_u, dag.out_neigh(v), assume_unique=True)
             if k == 3:
-                total += len(c3)
-            elif len(c3):
-                total += rec(3, c3)
+                total += neigh_u.intersect_count(dag[v])
+            else:
+                c3 = neigh_u.intersect(dag[v])
+                if not c3.is_empty():
+                    total += rec(3, c3)
             costs.append(time.perf_counter() - tv)
     return KCliqueResult(
         variant="Danisch", k=k, count=total, reorder_seconds=reorder,

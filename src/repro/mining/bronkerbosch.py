@@ -42,6 +42,17 @@ Passing an approximate set class (``"bloom"``/``"kmv"``) as
 valid pivot for BK-Pivot, so the enumerated maximal-clique set is provably
 identical to the exact run — a mis-ranked pivot can only change the
 recursion shape (number of recursive calls), never the output.
+
+The ``P`` sketch is maintained *incrementally*, ProbGraph style: it is
+built from scratch once per outer vertex, derived for each child call by a
+sketch-level ``intersect`` with the neighbor's sketch, and updated with
+``remove(v)`` as the sibling loop removes ``v`` from ``P`` — never rebuilt
+per recursive call.  Because the sketch only feeds counts (the pivot scan
+iterates the *exact* ``P``/``X`` members), any drift the incremental
+maintenance accumulates (e.g. Bloom's stale bits after removal) is
+harmless: the chosen pivot is always a member of ``P ∪ X``.  The
+``sketch_builds`` software counter meters this invariant — builds scale
+with the number of outer vertices, not with the number of recursive calls.
 """
 
 from __future__ import annotations
@@ -56,8 +67,9 @@ from ..core.bit_set import BitSet
 from ..core.hash_set import HashSet
 from ..core.interface import SetBase
 from ..graph.csr import CSRGraph
+from ..graph.set_graph import MaterializationCache
 from ..graph.transforms import split_neighbors
-from ..preprocess.ordering import OrderingResult, compute_ordering
+from ..preprocess.ordering import OrderingResult
 
 __all__ = ["BKResult", "bron_kerbosch", "bk_das", "BK_VARIANTS", "run_bk_variant"]
 
@@ -105,8 +117,21 @@ class _BKEngine:
         self.calls = 0
         self.max_size = 0
 
-    def expand(self, P: SetBase, R: List[int], X: SetBase) -> None:
-        """BK-Pivot(P, R, X) — Algorithm 6, lines 18–28."""
+    def expand(
+        self,
+        P: SetBase,
+        R: List[int],
+        X: SetBase,
+        P_sketch: Optional[SetBase] = None,
+    ) -> None:
+        """BK-Pivot(P, R, X) — Algorithm 6, lines 18–28.
+
+        ``P_sketch`` is the incrementally maintained pivot-scan sketch of
+        ``P`` (when sketch pivoting is active): child calls derive their
+        sketch with one sketch-level ``intersect``, and the sibling loop
+        mirrors every ``P.remove(v)`` with ``P_sketch.remove(v)`` — the
+        sketch is never rebuilt from ``P``'s members inside the recursion.
+        """
         self.calls += 1
         if P.is_empty() and X.is_empty():
             self.num_cliques += 1
@@ -115,20 +140,31 @@ class _BKEngine:
             if self.cliques is not None:
                 self.cliques.append(list(R))
             return
-        pivot = self._choose_pivot(P, X)
+        pivot = self._choose_pivot(P, X, P_sketch)
         candidates = P.diff(self.adjacency[pivot]).to_array()
         for v in candidates.tolist():
             neigh_v = self.adjacency[v]
             R.append(v)
-            self.expand(P.intersect(neigh_v), R, X.intersect(neigh_v))
+            child_sketch = (
+                P_sketch.intersect(self.pivot_adjacency[v])
+                if P_sketch is not None
+                else None
+            )
+            self.expand(
+                P.intersect(neigh_v), R, X.intersect(neigh_v), child_sketch
+            )
             R.pop()
             P.remove(v)
+            if P_sketch is not None:
+                P_sketch.remove(v)  # incremental maintenance (ProbGraph)
             X.add(v)
 
-    def _choose_pivot(self, P: SetBase, X: SetBase) -> int:
+    def _choose_pivot(
+        self, P: SetBase, X: SetBase, P_sketch: Optional[SetBase] = None
+    ) -> int:
         """Tomita pivot: ``u ∈ P ∪ X`` maximizing ``|P ∩ N(u)|``."""
-        if self.pivot_adjacency is not None:
-            return self._choose_pivot_sketch(P, X)
+        if P_sketch is not None and self.pivot_adjacency is not None:
+            return self._choose_pivot_sketch(P, X, P_sketch)
         best_u = -1
         best = -1
         adjacency = self.adjacency
@@ -143,21 +179,24 @@ class _BKEngine:
                 best, best_u = c, u
         return best_u
 
-    def _choose_pivot_sketch(self, P: SetBase, X: SetBase) -> int:
+    def _choose_pivot_sketch(
+        self, P: SetBase, X: SetBase, P_sketch: SetBase
+    ) -> int:
         """Estimated Tomita pivot: argmax of sketch ``|P ∩ N(u)|`` counts.
 
-        One sketch of ``P`` is built per call and amortized over the whole
-        ``P ∪ X`` scan; the per-candidate count then costs O(sketch) instead
-        of O(|P| + Δ(u)).  The result is always a member of ``P ∪ X``, so
-        correctness of the enumeration is independent of estimate error.
+        The maintained sketch is amortized over the whole ``P ∪ X`` scan;
+        each per-candidate count costs O(sketch) instead of O(|P| + Δ(u)).
+        The scan iterates the **exact** ``P``/``X`` members (only the
+        counts come from the sketch), so the winner is always a member of
+        ``P ∪ X`` and enumeration correctness is independent of both the
+        estimate error and any drift the incremental sketch maintenance
+        accumulated.
         """
-        members = P.to_array()
-        P_sketch = self.pivot_set_cls.from_sorted_array(members)
         adjacency = self.pivot_adjacency
         count = P_sketch.intersect_count
         best_u = -1
         best = -1
-        for u in members.tolist():
+        for u in P.to_array().tolist():
             c = count(adjacency[u])
             if c > best:
                 best, best_u = c, u
@@ -176,6 +215,7 @@ def bron_kerbosch(
     collect: bool = False,
     eps: float = 0.1,
     pivot_set_cls: Optional[Type[SetBase]] = None,
+    cache: Optional[MaterializationCache] = None,
 ) -> BKResult:
     """Run the GMS Bron–Kerbosch variant selected by the arguments.
 
@@ -202,21 +242,24 @@ def bron_kerbosch(
         once over the *full* neighborhoods rather than per-outer-vertex
         ``H`` subgraphs; the targeted quantity is unchanged because
         ``P ⊆ B`` implies ``P ∩ N(u) = P ∩ N_H(u)`` for every ``u ∈ B``.
+    cache:
+        Optional materialization cache: the ordering and the
+        ``set_cls``/``pivot_set_cls`` neighborhood :class:`SetGraph`\\ s
+        are resolved through it, so suite runs share them across kernels
+        (the sets are read-only here — P/X are fresh per outer vertex).
     """
+    if cache is None:
+        cache = MaterializationCache()
     t0 = time.perf_counter()
     kwargs = {"eps": eps} if ordering == "ADG" else {}
-    order_res: OrderingResult = compute_ordering(graph, ordering, **kwargs)
+    order_res: OrderingResult = cache.ordering(graph, ordering, **kwargs)
     reorder_seconds = time.perf_counter() - t0
 
     rank = order_res.rank
-    neighborhoods: Dict[int, SetBase] = {
-        v: graph.neighborhood_set(v, set_cls) for v in graph.vertices()
-    }
+    neighborhoods = cache.set_graph(graph, set_cls)
     pivot_neighborhoods = None
     if pivot_set_cls is not None:
-        pivot_neighborhoods = {
-            v: graph.neighborhood_set(v, pivot_set_cls) for v in graph.vertices()
-        }
+        pivot_neighborhoods = cache.set_graph(graph, pivot_set_cls)
     engine = _BKEngine(neighborhoods, collect,
                        pivot_adjacency=pivot_neighborhoods,
                        pivot_set_cls=pivot_set_cls)
@@ -235,7 +278,14 @@ def bron_kerbosch(
             )
         else:
             engine.adjacency = neighborhoods
-        engine.expand(P, [v], X)
+        # The only from-scratch pivot-sketch build of this subtree: the
+        # recursion maintains it incrementally from here on.
+        P_sketch = (
+            pivot_set_cls.from_sorted_array(later)
+            if pivot_set_cls is not None
+            else None
+        )
+        engine.expand(P, [v], X, P_sketch)
         task_costs.append(time.perf_counter() - tv)
     mine_seconds = time.perf_counter() - t1
 
@@ -256,7 +306,7 @@ def bron_kerbosch(
 
 
 def _induced_adjacency(
-    neighborhoods: Dict[int, SetBase],
+    neighborhoods,  # any vertex → SetBase mapping (dict or SetGraph)
     later: np.ndarray,
     earlier: np.ndarray,
     set_cls: Type[SetBase],
@@ -277,7 +327,11 @@ def _induced_adjacency(
     }
 
 
-def bk_das(graph: CSRGraph, collect: bool = False) -> BKResult:
+def bk_das(
+    graph: CSRGraph,
+    collect: bool = False,
+    cache: Optional[MaterializationCache] = None,
+) -> BKResult:
     """The Das et al. shared-memory BK baseline (re-implementation).
 
     Faithful to the original's design choices: the exact degeneracy order
@@ -288,15 +342,15 @@ def bk_das(graph: CSRGraph, collect: bool = False) -> BKResult:
     incrementally maintained "remaining vertices" set — i.e. *without* the
     GMS splitting, bitvector, and subgraph optimizations.
     """
+    if cache is None:
+        cache = MaterializationCache()
     t0 = time.perf_counter()
-    order_res = compute_ordering(graph, "DGR")
+    order_res = cache.ordering(graph, "DGR")
     reorder_seconds = time.perf_counter() - t0
 
     from ..core.sorted_set import SortedSet
 
-    neighborhoods: Dict[int, SetBase] = {
-        v: graph.neighborhood_set(v, SortedSet) for v in graph.vertices()
-    }
+    neighborhoods = cache.set_graph(graph, SortedSet)
     engine = _BKEngine(neighborhoods, collect)
     remaining = SortedSet.from_sorted_array(np.arange(graph.num_nodes))
     task_costs: List[float] = []
@@ -339,17 +393,21 @@ def run_bk_variant(
     variant: str,
     set_cls: Type[SetBase] = BitSet,
     collect: bool = False,
+    cache: Optional[MaterializationCache] = None,
 ) -> BKResult:
     """Dispatch a named BK variant (see :data:`BK_VARIANTS`)."""
     if variant == "BK-DAS":
-        return bk_das(graph, collect=collect)
+        return bk_das(graph, collect=collect, cache=cache)
     if variant == "BK-GMS-DEG":
-        return bron_kerbosch(graph, "DEG", set_cls, collect=collect)
+        return bron_kerbosch(graph, "DEG", set_cls, collect=collect,
+                             cache=cache)
     if variant == "BK-GMS-DGR":
-        return bron_kerbosch(graph, "DGR", set_cls, collect=collect)
+        return bron_kerbosch(graph, "DGR", set_cls, collect=collect,
+                             cache=cache)
     if variant == "BK-GMS-ADG":
-        return bron_kerbosch(graph, "ADG", set_cls, collect=collect)
+        return bron_kerbosch(graph, "ADG", set_cls, collect=collect,
+                             cache=cache)
     if variant == "BK-GMS-ADG-S":
         return bron_kerbosch(graph, "ADG", set_cls, subgraph_opt=True,
-                             collect=collect)
+                             collect=collect, cache=cache)
     raise ValueError(f"unknown BK variant {variant!r}; known: {BK_VARIANTS}")

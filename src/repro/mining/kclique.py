@@ -16,23 +16,32 @@ Variants:
 * ``"edge"`` — edge-parallel: one task per arc, starting from
   ``C_3 = N⁺(u) ∩ N⁺(v)`` — lower depth, more memory (section 7.2).
 
+The kernels are written purely against the
+:class:`~repro.core.interface.SetBase` algebra over a materialized
+:class:`~repro.graph.set_graph.SetGraph` (the ``5+`` modularity hook): the
+oriented out-neighborhoods are sets of the chosen representation, candidate
+sets shrink via ``assign`` + ``intersect_inplace`` into one scratch set per
+recursion level, and the innermost level goes through ``intersect_count`` —
+so an approximate backend (``"bloom"``/``"kmv"``) turns the same code into a
+ProbGraph-style estimator without a separate code path.
+
 The GMS memory optimization bounds the space of every ``C_{i+1}`` by
-``|C_i|`` (candidate arrays only ever shrink), instead of the ``Δ²``-sized
-scratch buffers of the original code; there is no special-case code path
-for ``k = 3``, matching the "all variants for k ≥ 3" observation.
+``|C_i|`` (candidate sets only ever shrink, and the per-level scratch sets
+are reused across siblings), instead of the ``Δ²``-sized scratch buffers of
+the original code; there is no special-case code path for ``k = 3``,
+matching the "all variants for k ≥ 3" observation.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Type
 
-import numpy as np
-
+from ..core.interface import SetBase
+from ..core.sorted_set import SortedSet
 from ..graph.csr import CSRGraph
-from ..graph.transforms import orient_by_rank
-from ..preprocess.ordering import compute_ordering
+from ..graph.set_graph import MaterializationCache, SetGraph
 
 __all__ = ["KCliqueResult", "kclique_count", "kclique_list"]
 
@@ -58,15 +67,46 @@ class KCliqueResult:
         return self.count / self.total_seconds if self.total_seconds > 0 else 0.0
 
 
-def _count_rec(dag: CSRGraph, i: int, k: int, candidates: np.ndarray) -> int:
+def _count_rec(
+    dag: SetGraph, i: int, k: int, candidates: SetBase, scratch: List[SetBase]
+) -> int:
+    """kClist recursion over set algebra with per-level scratch reuse.
+
+    Level ``i + 1``'s candidate set is ``scratch[i + 1]``, overwritten for
+    every sibling (``assign`` + ``intersect_inplace``); by the time level
+    ``i`` loops to its next candidate, the whole subtree below has
+    returned, so reuse is safe.  The innermost level is a pure
+    ``intersect_count`` — the hook where sketch backends estimate.
+    """
     if i == k:
-        return len(candidates)
+        return candidates.cardinality()
+    if i + 1 == k:
+        return sum(
+            candidates.intersect_count(dag[v])
+            for v in candidates.to_array().tolist()
+        )
     total = 0
-    for v in candidates.tolist():
-        nxt = np.intersect1d(dag.out_neigh(v), candidates, assume_unique=True)
-        if len(nxt) >= 1:
-            total += _count_rec(dag, i + 1, k, nxt)
+    nxt = scratch[i + 1]
+    for v in candidates.to_array().tolist():
+        nxt.assign(candidates)
+        nxt.intersect_inplace(dag[v])
+        if not nxt.is_empty():
+            total += _count_rec(dag, i + 1, k, nxt, scratch)
     return total
+
+
+def _materialize(
+    graph: CSRGraph,
+    ordering: str,
+    set_cls: Type[SetBase],
+    eps: float,
+    cache: Optional[MaterializationCache],
+):
+    """Resolve ordering + oriented DAG through the materialization layer."""
+    if cache is None:
+        cache = MaterializationCache()
+    kwargs = {"eps": eps} if ordering == "ADG" else {}
+    return cache.oriented(graph, set_cls, ordering, **kwargs)
 
 
 def kclique_count(
@@ -75,40 +115,54 @@ def kclique_count(
     ordering: str = "DGR",
     parallel: str = "edge",
     eps: float = 0.1,
+    set_cls: Optional[Type[SetBase]] = None,
+    cache: Optional[MaterializationCache] = None,
 ) -> KCliqueResult:
     """Count k-cliques with the chosen ordering and parallelization.
 
     ``k = 2`` degenerates to edge counting; ``k = 3`` is triangle counting
-    (no special-cased code path).
+    (no special-cased code path).  ``set_cls`` selects the set
+    representation (default :class:`~repro.core.sorted_set.SortedSet`, the
+    CSR-like sorted-array layout); an approximate class yields a ProbGraph
+    estimate.  ``cache`` (a :class:`~repro.graph.set_graph.SetGraph`
+    materialization cache) lets suite runs share the oriented DAG across
+    kernels and repeats.
     """
     if k < 2:
         raise ValueError("k must be >= 2")
     if parallel not in ("node", "edge"):
         raise ValueError("parallel must be 'node' or 'edge'")
+    cls = set_cls or SortedSet
     t0 = time.perf_counter()
-    kwargs = {"eps": eps} if ordering == "ADG" else {}
-    order_res = compute_ordering(graph, ordering, **kwargs)
-    dag = orient_by_rank(graph, order_res.rank)
+    order_res, dag = _materialize(graph, ordering, cls, eps, cache)
     reorder_seconds = time.perf_counter() - t0
 
+    # One scratch candidate set per recursion level (the kClist memory
+    # bound): level i's candidates only ever shrink from level i-1's.
+    scratch = [cls.empty() for _ in range(k + 1)]
     total = 0
     task_costs: List[float] = []
     t1 = time.perf_counter()
     if parallel == "node" or k == 2:
         for u in dag.vertices():
             tv = time.perf_counter()
-            c2 = dag.out_neigh(u)
-            if len(c2) >= 1:
-                total += _count_rec(dag, 2, k, c2)
+            c2 = dag[u]
+            if not c2.is_empty():
+                total += _count_rec(dag, 2, k, c2, scratch)
             task_costs.append(time.perf_counter() - tv)
     else:
+        nxt = scratch[3]
         for u in dag.vertices():
-            neigh_u = dag.out_neigh(u)
-            for v in neigh_u.tolist():
+            neigh_u = dag[u]
+            for v in neigh_u.to_array().tolist():
                 tv = time.perf_counter()
-                c3 = np.intersect1d(neigh_u, dag.out_neigh(v), assume_unique=True)
-                if len(c3) >= 1 or k == 3:
-                    total += _count_rec(dag, 3, k, c3)
+                if k == 3:
+                    total += neigh_u.intersect_count(dag[v])
+                else:
+                    nxt.assign(neigh_u)
+                    nxt.intersect_inplace(dag[v])
+                    if not nxt.is_empty():
+                        total += _count_rec(dag, 3, k, nxt, scratch)
                 task_costs.append(time.perf_counter() - tv)
     mine_seconds = time.perf_counter() - t1
     return KCliqueResult(
@@ -123,28 +177,31 @@ def kclique_count(
 
 
 def kclique_list(
-    graph: CSRGraph, k: int, ordering: str = "DGR"
+    graph: CSRGraph,
+    k: int,
+    ordering: str = "DGR",
+    set_cls: Optional[Type[SetBase]] = None,
+    cache: Optional[MaterializationCache] = None,
 ) -> List[List[int]]:
     """List (not just count) all k-cliques, as sorted vertex lists."""
     if k < 2:
         raise ValueError("k must be >= 2")
-    order_res = compute_ordering(graph, ordering)
-    dag = orient_by_rank(graph, order_res.rank)
+    cls = set_cls or SortedSet
+    _, dag = _materialize(graph, ordering, cls, 0.1, cache)
     out: List[List[int]] = []
 
-    def rec(prefix: List[int], i: int, candidates: np.ndarray) -> None:
+    def rec(prefix: List[int], i: int, candidates: SetBase) -> None:
         if i == k:
-            for v in candidates.tolist():
+            for v in candidates.to_array().tolist():
                 out.append(sorted(prefix + [v]))
             return
-        for v in candidates.tolist():
-            nxt = np.intersect1d(dag.out_neigh(v), candidates, assume_unique=True)
-            rec(prefix + [v], i + 1, nxt)
+        for v in candidates.to_array().tolist():
+            rec(prefix + [v], i + 1, candidates.intersect(dag[v]))
 
     for u in dag.vertices():
-        c2 = dag.out_neigh(u)
+        c2 = dag[u]
         if k == 2:
-            for v in c2.tolist():
+            for v in c2.to_array().tolist():
                 out.append(sorted([u, v]))
         else:
             rec([u], 2, c2)

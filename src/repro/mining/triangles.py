@@ -1,6 +1,7 @@
 """Triangle counting (paper Figure 2 example kernel; Table 8 rows).
 
-Two classic schemes, both expressed with set algebra:
+Two classic schemes, both expressed with set algebra over a materialized
+:class:`~repro.graph.set_graph.SetGraph`:
 
 * **node iterator** — for every edge ``(v, w)``, add ``|N(v) ∩ N(w)|``;
   every triangle is counted once per corner, so divide by 3 at the end
@@ -9,41 +10,39 @@ Two classic schemes, both expressed with set algebra:
   intersect *out*-neighborhoods, counting every triangle exactly once;
   the ``O(m^{3/2})`` scheme of Table 8.
 
-Both accept a pluggable set class (modularity hook ``5+``) or run on raw
-sorted arrays for speed.
+Both take a pluggable set class (modularity hook ``5+``); the default is
+the CSR-like :class:`~repro.core.sorted_set.SortedSet`.  Every candidate
+count goes through ``SetBase.intersect_count``, so approximate backends
+(``"bloom"``/``"kmv"``) estimate with the same kernel code.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Type
 
-import numpy as np
-
 from ..core.interface import SetBase
+from ..core.sorted_set import SortedSet
 from ..graph.csr import CSRGraph
-from ..graph.transforms import orient_by_rank
-from ..preprocess.ordering import degree_order
+from ..graph.set_graph import MaterializationCache
 
 __all__ = ["triangle_count_node_iterator", "triangle_count_rank_merge"]
 
 
 def triangle_count_node_iterator(
-    graph: CSRGraph, set_cls: Optional[Type[SetBase]] = None
+    graph: CSRGraph,
+    set_cls: Optional[Type[SetBase]] = None,
+    cache: Optional[MaterializationCache] = None,
 ) -> int:
     """Count triangles with the node-iterator scheme (Figure 2's ``tc``)."""
+    cls = set_cls or SortedSet
+    if cache is None:
+        cache = MaterializationCache()
+    sets = cache.set_graph(graph, cls)
     total = 0
-    if set_cls is None:
-        for v in graph.vertices():
-            neigh_v = graph.out_neigh(v)
-            for w in neigh_v.tolist():
-                total += len(np.intersect1d(neigh_v, graph.out_neigh(w),
-                                            assume_unique=True))
-    else:
-        sets = [graph.neighborhood_set(v, set_cls) for v in graph.vertices()]
-        for v in graph.vertices():
-            sv = sets[v]
-            for w in graph.out_neigh(v).tolist():
-                total += sv.intersect_count(sets[w])
+    for v in graph.vertices():
+        sv = sets[v]
+        for w in graph.out_neigh(v).tolist():
+            total += sv.intersect_count(sets[w])
     # Each triangle {a, b, c} is found once per ordered corner pair: 6 times
     # over the symmetric adjacency, i.e. tc/3 with the paper's per-edge loop
     # over directed arcs being tc/6 here (we loop over both arc directions).
@@ -51,22 +50,18 @@ def triangle_count_node_iterator(
 
 
 def triangle_count_rank_merge(
-    graph: CSRGraph, set_cls: Optional[Type[SetBase]] = None
+    graph: CSRGraph,
+    set_cls: Optional[Type[SetBase]] = None,
+    cache: Optional[MaterializationCache] = None,
 ) -> int:
     """Count triangles with the rank-merge (forward) scheme."""
-    rank = degree_order(graph).rank
-    dag = orient_by_rank(graph, rank)
+    cls = set_cls or SortedSet
+    if cache is None:
+        cache = MaterializationCache()
+    _, dag = cache.oriented(graph, cls, "DEG")
     total = 0
-    if set_cls is None:
-        for u in dag.vertices():
-            neigh_u = dag.out_neigh(u)
-            for v in neigh_u.tolist():
-                total += len(np.intersect1d(neigh_u, dag.out_neigh(v),
-                                            assume_unique=True))
-    else:
-        sets = [dag.neighborhood_set(v, set_cls) for v in dag.vertices()]
-        for u in dag.vertices():
-            su = sets[u]
-            for v in dag.out_neigh(u).tolist():
-                total += su.intersect_count(sets[v])
+    for u in dag.vertices():
+        su = dag[u]
+        for v in su.to_array().tolist():
+            total += su.intersect_count(dag[v])
     return total

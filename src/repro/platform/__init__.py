@@ -1,5 +1,6 @@
 """Benchmarking platform: pipeline, CLI, harness (paper section 5)."""
 
+from .aggregate import aggregate_results
 from .bench import (
     ARTIFACT_DIR,
     parallel_reorder_seconds,
@@ -16,6 +17,13 @@ from .cli import (
     resolve_set_class,
 )
 from .pipeline import Pipeline, PipelineReport, StageRecord
+from .suite import (
+    SUITE_KERNELS,
+    ExperimentPlan,
+    SuiteKernel,
+    register_suite_kernel,
+    run_suite,
+)
 
 __all__ = [
     "Pipeline",
@@ -32,4 +40,10 @@ __all__ = [
     "print_table",
     "write_artifact",
     "ARTIFACT_DIR",
+    "ExperimentPlan",
+    "SuiteKernel",
+    "SUITE_KERNELS",
+    "register_suite_kernel",
+    "run_suite",
+    "aggregate_results",
 ]

@@ -1,0 +1,236 @@
+"""Cross-dataset artifact aggregation (``python -m repro aggregate``).
+
+The suite (:mod:`repro.platform.suite`) and the budget sweep
+(:mod:`repro.platform.budget_sweep`) both persist per-dataset JSON
+artifacts under ``results/``.  This module folds every
+``suite_<dataset>.json`` and ``budget_sweep_<dataset>.json`` found there
+into one ``results/aggregate.json`` with per-backend speed-vs-accuracy
+summaries — the cross-dataset operating picture a single-dataset artifact
+cannot show.
+
+Aggregate schema (``results/aggregate.json``)::
+
+    {
+      "schema": "gms-aggregate/v1",
+      "sources": {"suite": [paths...], "budget_sweep": [paths...]},
+      "datasets": [names...],
+      "backends": {
+        "<set_class>": {
+          "cells": int,            # suite cells + sweep rows folded in
+          "exact": bool,           # every folded cell exact?
+          "mean_rel_error": float, # accuracy across all folded counts
+          "max_rel_error": float,
+          "mean_seconds": float,   # raw speed across all folded cells
+          "mean_speedup": float,   # vs the reference/exact twin, where known
+          "per_kernel": {
+            "<kernel>": {"cells": int, "mean_rel_error": float,
+                          "mean_seconds": float}, ...
+          },
+        }, ...
+      },
+    }
+
+Backends are keyed by the *plan-level* registry name for suite cells
+(``"bloom"``, ``"kmv"``, ``"bitset"``, …) and by the resolved class name
+for budget-sweep rows (which sweep many budget-derived classes of one
+family); both views coexist in the same table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from . import bench
+from .bench import print_table, write_artifact
+
+__all__ = ["AGGREGATE_SCHEMA", "aggregate_results", "main"]
+
+#: Aggregate schema identifier, bumped on breaking layout changes.
+AGGREGATE_SCHEMA = "gms-aggregate/v1"
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+class _BackendFold:
+    """Accumulates one backend's cells across every artifact."""
+
+    def __init__(self) -> None:
+        self.rel_errors: List[float] = []
+        self.seconds: List[float] = []
+        self.speedups: List[float] = []
+        self.exact = True
+        self.per_kernel: Dict[str, Dict[str, List[float]]] = defaultdict(
+            lambda: {"rel_errors": [], "seconds": []}
+        )
+
+    def add(
+        self,
+        kernel: str,
+        rel_error: float,
+        seconds: float,
+        exact: bool,
+        speedup: Optional[float] = None,
+    ) -> None:
+        self.rel_errors.append(rel_error)
+        self.seconds.append(seconds)
+        self.exact = self.exact and exact
+        if speedup is not None:
+            self.speedups.append(speedup)
+        bucket = self.per_kernel[kernel]
+        bucket["rel_errors"].append(rel_error)
+        bucket["seconds"].append(seconds)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "cells": len(self.rel_errors),
+            "exact": self.exact,
+            "mean_rel_error": _mean(self.rel_errors),
+            "max_rel_error": max(self.rel_errors, default=0.0),
+            "mean_seconds": _mean(self.seconds),
+            "mean_speedup": _mean(self.speedups),
+            "per_kernel": {
+                kernel: {
+                    "cells": len(bucket["rel_errors"]),
+                    "mean_rel_error": _mean(bucket["rel_errors"]),
+                    "mean_seconds": _mean(bucket["seconds"]),
+                }
+                for kernel, bucket in sorted(self.per_kernel.items())
+            },
+        }
+
+
+def _fold_suite(payload: Dict[str, object], folds: Dict[str, _BackendFold]) -> None:
+    # Reference-backend seconds per (kernel, ordering) anchor the speedups.
+    ref = payload.get("reference_backend", "sorted")
+    ref_seconds = {
+        (c["kernel"], c["ordering"]): c["seconds"]
+        for c in payload["cells"]
+        if c["set_class"] == ref
+    }
+    for cell in payload["cells"]:
+        base = ref_seconds.get((cell["kernel"], cell["ordering"]))
+        speedup = (
+            base / cell["seconds"]
+            if base is not None and cell["seconds"] > 0
+            else None
+        )
+        folds[cell["set_class"]].add(
+            cell["kernel"], cell["rel_error"], cell["seconds"],
+            cell["exact"], speedup,
+        )
+
+
+def _fold_budget_sweep(
+    payload: Dict[str, object], folds: Dict[str, _BackendFold]
+) -> None:
+    for row in payload["rows"]:
+        fold = folds[row["set_class"]]
+        # The sweep measures three kernels per row; fold each as one cell.
+        fold.add("tc", row["tc_rel_error"], row["tc_seconds"], False)
+        fold.add("4clique", row["fc_rel_error"], row["fc_seconds"], False)
+        fold.add("4clique+reconcile", row["fc_reconciled_rel_error"],
+                 row["fc_reconciled_seconds"], False)
+
+
+def aggregate_results(
+    results_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Merge every suite/budget-sweep artifact under *results_dir*.
+
+    Returns the aggregate payload (see module docstring for the schema);
+    raises :class:`FileNotFoundError` when no artifact is found — an empty
+    aggregate would silently hide a miswired results directory.
+    """
+    # bench.ARTIFACT_DIR is read at call time (not import time) so test
+    # harnesses that monkeypatch the shared artifact dir are honored here.
+    base = results_dir or bench.ARTIFACT_DIR
+    suite_paths = sorted(glob.glob(os.path.join(base, "suite_*.json")))
+    sweep_paths = sorted(glob.glob(os.path.join(base, "budget_sweep_*.json")))
+    if not suite_paths and not sweep_paths:
+        raise FileNotFoundError(
+            f"no suite_*.json or budget_sweep_*.json artifacts under {base!r}"
+        )
+
+    folds: Dict[str, _BackendFold] = defaultdict(_BackendFold)
+    datasets = []
+    for path in suite_paths:
+        with open(path) as handle:
+            payload = json.load(handle)
+        datasets.append(payload["dataset"])
+        _fold_suite(payload, folds)
+    for path in sweep_paths:
+        with open(path) as handle:
+            payload = json.load(handle)
+        datasets.append(payload["dataset"])
+        _fold_budget_sweep(payload, folds)
+
+    return {
+        "schema": AGGREGATE_SCHEMA,
+        "sources": {
+            "suite": [os.path.basename(p) for p in suite_paths],
+            "budget_sweep": [os.path.basename(p) for p in sweep_paths],
+        },
+        "datasets": sorted(set(datasets)),
+        "backends": {
+            name: fold.summary() for name, fold in sorted(folds.items())
+        },
+    }
+
+
+def _print_aggregate(payload: Dict[str, object]) -> None:
+    rows = [
+        [
+            name,
+            summary["cells"],
+            "yes" if summary["exact"] else "no",
+            f"{100 * summary['mean_rel_error']:.2f}%",
+            f"{100 * summary['max_rel_error']:.2f}%",
+            f"{1000 * summary['mean_seconds']:.1f} ms",
+            (f"{summary['mean_speedup']:.2f}x"
+             if summary["mean_speedup"] else "-"),
+        ]
+        for name, summary in payload["backends"].items()
+    ]
+    print_table(
+        f"Cross-dataset aggregate — {len(payload['datasets'])} dataset(s), "
+        f"{len(payload['sources']['suite'])} suite + "
+        f"{len(payload['sources']['budget_sweep'])} sweep artifact(s)",
+        ["backend", "cells", "exact", "mean err", "max err", "mean time",
+         "speedup"],
+        rows,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro aggregate``."""
+    parser = argparse.ArgumentParser(
+        prog="repro aggregate",
+        description="merge suite/budget-sweep artifacts into "
+                    "results/aggregate.json",
+    )
+    parser.add_argument("--results-dir", default=None,
+                        help="artifact directory (default: the shared "
+                             "results/ dir, also via $REPRO_ARTIFACT_DIR)")
+    ns = parser.parse_args(argv)
+    try:
+        payload = aggregate_results(ns.results_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    _print_aggregate(payload)
+    if ns.results_dir:
+        # Keep the aggregate next to the artifacts it merged.
+        path = os.path.join(ns.results_dir, "aggregate.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    else:
+        path = write_artifact("aggregate", payload)
+    print(f"artifact: {path}")
+    return 0

@@ -39,6 +39,13 @@ def add_sketch_budget_args(parser: argparse.ArgumentParser) -> None:
                              "whole graph: m = total/n fixed for every "
                              "neighborhood, making all pairs eligible for "
                              "the popcount estimator (0 = per-set sizing)")
+    parser.add_argument("--bloom-fpr", type=float, default=0.0,
+                        help="target false-positive rate for the Bloom "
+                             "probes: auto-sizes a shared per-graph budget "
+                             "by inverting the Swamidass-Baldi fill model "
+                             "for the average neighborhood size (takes "
+                             "precedence over the explicit bit budgets; "
+                             "0 = disabled)")
     parser.add_argument("--kmv-k", type=int, default=0,
                         help="KMV signature size "
                              "(set-class 'kmv'; 0 = class default)")
@@ -60,31 +67,39 @@ class Args:
     bloom_bits: int = 0
     kmv_k: int = 0
     bloom_shared_bits: int = 0
+    bloom_fpr: float = 0.0
 
     def __post_init__(self) -> None:
         if self.threads is None:
             self.threads = [1, 2, 4, 8, 16, 32]
 
-    def resolve_set_class(self, num_sets: int = 0) -> Type[SetBase]:
+    def resolve_set_class(
+        self, num_sets: int = 0, avg_set_size: float = 0.0
+    ) -> Type[SetBase]:
         """Resolve ``set_class`` honoring the sketch-budget overrides.
 
         ``num_sets`` (usually the graph's vertex count) is required for the
         shared Bloom budget to take effect — without it the per-set sizing
-        flags apply.  Use :meth:`resolve_set_class_for_graph` when a graph
-        is at hand.
+        flags apply; ``avg_set_size`` (the mean neighborhood size) is
+        additionally required for the ``--bloom-fpr`` auto-sizing.  Use
+        :meth:`resolve_set_class_for_graph` when a graph is at hand.
         """
         return resolve_set_class(
             self.set_class, bloom_bits=self.bloom_bits, kmv_k=self.kmv_k,
             bloom_shared_bits=self.bloom_shared_bits, num_sets=num_sets,
+            bloom_fpr=self.bloom_fpr, avg_set_size=avg_set_size,
         )
 
     def resolve_set_class_for_graph(self, graph) -> Type[SetBase]:
         """Resolve ``set_class`` with the shared budget split over *graph*.
 
         The ``m = m_total / n`` choice happens here, once per graph — the
-        factory is the only place the graph size and the budget meet.
+        factory is the only place the graph size (and, for ``--bloom-fpr``,
+        the average degree) and the budget meet.
         """
-        return self.resolve_set_class(num_sets=graph.num_nodes)
+        n = graph.num_nodes
+        avg = 2.0 * graph.num_edges / n if n else 0.0
+        return self.resolve_set_class(num_sets=n, avg_set_size=avg)
 
 
 def build_parser(description: str = "GMS reproduction benchmark") -> argparse.ArgumentParser:
@@ -134,12 +149,14 @@ def parse_args(argv: Optional[List[str]] = None,
         bloom_bits=ns.bloom_bits,
         kmv_k=ns.kmv_k,
         bloom_shared_bits=ns.bloom_shared_bits,
+        bloom_fpr=ns.bloom_fpr,
     )
 
 
 def resolve_set_class(
     set_class: str, *, bloom_bits: int = 0, kmv_k: int = 0,
     bloom_shared_bits: int = 0, num_sets: int = 0,
+    bloom_fpr: float = 0.0, avg_set_size: float = 0.0,
 ) -> Type[SetBase]:
     """Resolve a set-class name, applying any sketch-budget overrides.
 
@@ -150,11 +167,31 @@ def resolve_set_class(
     ``bloom_shared_bits`` *and* ``num_sets`` derive a shared-budget class
     (one fixed ``m = bloom_shared_bits / num_sets`` for all instances),
     taking precedence over the per-element ``bloom_bits``.
+
+    A nonzero ``bloom_fpr`` (with ``num_sets`` and ``avg_set_size``) takes
+    precedence over both explicit bit budgets: the per-set filter size is
+    auto-derived by inverting the Swamidass–Baldi fill model
+    (:func:`~repro.approx.estimators.bloom_bits_for_fpr`) for a set of the
+    average size, and the shared total is that size times ``num_sets`` —
+    the operator states the accuracy target, the platform picks the budget.
     """
     cls = get_set_class(set_class)
     from ..approx import BloomFilterSet, KMVSketchSet
 
     if issubclass(cls, BloomFilterSet):
+        if bloom_fpr and num_sets and avg_set_size:
+            from ..approx.estimators import bloom_bits_for_fpr
+
+            per_set = bloom_bits_for_fpr(
+                max(1, int(round(avg_set_size))), bloom_fpr, cls.NUM_HASHES
+            )
+            # Round the per-set size *up* to a power of two before scaling
+            # to the shared total, so the factory's power-of-two floor
+            # lands exactly here and the realized FPR stays ≤ the target.
+            per_set = 1 << max(per_set - 1, 0).bit_length()
+            return cls.with_shared_budget(
+                max(64, per_set) * num_sets, num_sets
+            )
         if bloom_shared_bits and num_sets:
             return cls.with_shared_budget(bloom_shared_bits, num_sets)
         if bloom_bits:

@@ -1,0 +1,482 @@
+"""Declarative experiment suite: dataset × ordering × backend × kernel.
+
+This is the driver the set-centric kernel unification exists for.  All
+mining kernels speak the :class:`~repro.core.interface.SetBase` algebra
+over materialized :class:`~repro.graph.set_graph.SetGraph` neighborhoods,
+so one :class:`ExperimentPlan` can sweep *every registered kernel under
+every registered set backend* — SISA-style: a small set-centric
+instruction set below, a declarative workload description above.
+
+Building blocks
+---------------
+``SUITE_KERNELS``
+    The kernel registry.  Each :class:`SuiteKernel` wraps one mining
+    kernel behind the uniform signature ``runner(graph, set_cls,
+    ordering, plan, cache) -> int`` and declares whether the kernel
+    consumes the vertex ordering.  User kernels join the sweep via
+    :func:`register_suite_kernel` — exactly like set representations join
+    via :func:`repro.core.registry.register_set_class`.
+
+``ExperimentPlan``
+    The declarative sweep description: datasets, kernels, orderings, set
+    backends, clique size, sketch budgets, repeats.  Budget flags carry
+    the same semantics as the shared CLI parser
+    (``--bloom-bits``/``--kmv-k``/``--bloom-shared-bits``/``--bloom-fpr``)
+    and are resolved per graph through
+    :meth:`repro.platform.cli.Args.resolve_set_class_for_graph`.
+
+``run_suite``
+    Executes the plan.  Per dataset it owns one
+    :class:`~repro.graph.set_graph.MaterializationCache`, so each
+    (graph, backend, ordering) is converted exactly once no matter how
+    many kernels and repeats consume it; per cell it meters wall time and
+    the set-algebra software counters
+    (:mod:`repro.core.counters`).  Exact backends are cross-checked
+    against the reference backend — any disagreement fails the run.
+
+Artifact schema (``results/suite_<dataset>.json``)
+--------------------------------------------------
+One JSON object per dataset::
+
+    {
+      "schema": "gms-suite/v1",
+      "dataset": str,          # registry name
+      "num_nodes": int, "num_edges": int,
+      "plan": {...},           # the ExperimentPlan, as parsed
+      "reference_backend": "sorted",
+      "materialization": {hits, misses, orderings, set_graphs, oriented},
+      "cells": [
+        {
+          "kernel": str,       # SUITE_KERNELS name
+          "ordering": str,     # ordering name, or "-" if kernel ignores it
+          "set_class": str,    # registry name from the plan
+          "resolved_class": str,  # budget-resolved class actually run
+          "exact": bool,       # cls.IS_EXACT
+          "value": int,        # kernel output (count)
+          "reference": int,    # reference-backend value, same cell
+          "rel_error": float,  # |value - reference| / max(reference, 1)
+          "seconds": float,    # best-of-repeats *warm* kernel wall time
+                               # (an untimed warm-up pass populates the
+                               # shared cache first; materialization cost
+                               # shows up in "materialization", not here)
+          "set_ops": int, "point_ops": int,     # software counters
+          "memory_traffic": int, "sketch_builds": int,
+        }, ...
+      ]
+    }
+
+``python -m repro aggregate`` consumes these artifacts (together with the
+budget-sweep ones) and folds them into cross-dataset per-backend
+speed-vs-accuracy summaries.
+
+Run ``python -m repro suite --smoke`` for the tiny CI matrix, or
+``python -m repro suite --datasets sc-ht-mini citations-mini --set-classes
+sorted bitset bloom kmv`` for a custom sweep; see
+``examples/suite_run.py`` for the library-level API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from ..core import counters as _counters
+from ..core.bit_set import BitSet
+from ..core.interface import SetBase
+from ..core.registry import set_class_names
+from ..graph import load_dataset
+from ..graph.csr import CSRGraph
+from ..graph.set_graph import MaterializationCache
+from ..mining.bronkerbosch import bron_kerbosch
+from ..mining.kclique import kclique_count
+from ..mining.kcliquestar import kclique_star_count
+from ..mining.triangles import (
+    triangle_count_node_iterator,
+    triangle_count_rank_merge,
+)
+from ..preprocess.ordering import ORDERINGS
+from .bench import print_table, write_artifact
+from .cli import Args, add_sketch_budget_args
+
+__all__ = [
+    "SCHEMA",
+    "SuiteKernel",
+    "SUITE_KERNELS",
+    "register_suite_kernel",
+    "ExperimentPlan",
+    "run_suite",
+    "main",
+]
+
+#: Artifact schema identifier, bumped on breaking layout changes.
+SCHEMA = "gms-suite/v1"
+
+#: Reference backend for cross-checking and relative error (registry name).
+REFERENCE_BACKEND = "sorted"
+
+
+@dataclass(frozen=True)
+class SuiteKernel:
+    """One kernel of the suite sweep.
+
+    ``runner(graph, set_cls, ordering, plan, cache)`` returns the kernel's
+    count under the given set representation.  ``uses_ordering=False``
+    kernels are run once per backend with the ordering column recorded as
+    ``"-"`` (re-running them per ordering would duplicate identical
+    cells).
+    """
+
+    name: str
+    runner: Callable[
+        [CSRGraph, Type[SetBase], str, "ExperimentPlan", MaterializationCache],
+        int,
+    ]
+    description: str
+    uses_ordering: bool = True
+
+
+def _run_tc(graph, set_cls, ordering, plan, cache):
+    return triangle_count_node_iterator(graph, set_cls=set_cls, cache=cache)
+
+
+def _run_tc_merge(graph, set_cls, ordering, plan, cache):
+    return triangle_count_rank_merge(graph, set_cls=set_cls, cache=cache)
+
+
+def _run_4clique(graph, set_cls, ordering, plan, cache):
+    return kclique_count(graph, 4, ordering, "edge", eps=plan.eps,
+                         set_cls=set_cls, cache=cache).count
+
+
+def _run_kclique(graph, set_cls, ordering, plan, cache):
+    return kclique_count(graph, plan.k, ordering, "node", eps=plan.eps,
+                         set_cls=set_cls, cache=cache).count
+
+
+def _run_kstar(graph, set_cls, ordering, plan, cache):
+    return kclique_star_count(graph, 3, set_cls=set_cls, cache=cache)
+
+
+def _run_bk(graph, set_cls, ordering, plan, cache):
+    # Approximate backends reach Bron–Kerbosch through the pivot scan
+    # (sketch-pivot BK): P/X stay exact, the estimated counts only feed
+    # the pivot argmax, and the enumerated clique set is provably
+    # identical — so every backend, exact or sketched, lands on the same
+    # maximal-clique count here.
+    if set_cls.IS_EXACT:
+        return bron_kerbosch(graph, ordering, set_cls, eps=plan.eps,
+                             cache=cache).num_cliques
+    return bron_kerbosch(graph, ordering, BitSet, eps=plan.eps,
+                         pivot_set_cls=set_cls, cache=cache).num_cliques
+
+
+#: The registered suite kernels, in registration order.
+SUITE_KERNELS: Dict[str, SuiteKernel] = {}
+
+
+def register_suite_kernel(
+    name: str,
+    runner: Callable[..., int],
+    description: str,
+    uses_ordering: bool = True,
+) -> None:
+    """Register a kernel for the suite sweep (the kernel-side ``5+`` hook)."""
+    SUITE_KERNELS[name] = SuiteKernel(name, runner, description, uses_ordering)
+
+
+register_suite_kernel(
+    "tc", _run_tc,
+    "triangle count, node-iterator scheme (Figure 2's tc)",
+    uses_ordering=False,
+)
+register_suite_kernel(
+    "tc-merge", _run_tc_merge,
+    "triangle count, rank-merge (forward) scheme over the degree order",
+    uses_ordering=False,
+)
+register_suite_kernel(
+    "4clique", _run_4clique,
+    "4-clique count, edge-parallel kClist over the oriented SetGraph",
+)
+register_suite_kernel(
+    "kclique", _run_kclique,
+    "k-clique count (plan.k), node-parallel kClist",
+)
+register_suite_kernel(
+    "kstar", _run_kstar,
+    "3-clique-star count via set intersections and differences",
+    uses_ordering=False,
+)
+register_suite_kernel(
+    "bk", _run_bk,
+    "maximal clique count; approximate backends route to the pivot scan",
+)
+
+
+@dataclass
+class ExperimentPlan:
+    """Declarative sweep description: what to run, under what budgets.
+
+    Empty ``kernels``/``set_classes``/``orderings`` mean *everything
+    registered* at run time, so plans stay valid as kernels and backends
+    are added.  See the module docstring for the emitted artifact schema.
+    """
+
+    datasets: Tuple[str, ...] = ("sc-ht-mini",)
+    kernels: Tuple[str, ...] = ()
+    set_classes: Tuple[str, ...] = ()
+    orderings: Tuple[str, ...] = ("DGR", "ADG")
+    k: int = 4
+    eps: float = 0.1
+    repeats: int = 1
+    bloom_bits: int = 0
+    kmv_k: int = 0
+    bloom_shared_bits: int = 0
+    bloom_fpr: float = 0.0
+
+    def resolved_kernels(self) -> List[SuiteKernel]:
+        names = self.kernels or tuple(SUITE_KERNELS)
+        unknown = [n for n in names if n not in SUITE_KERNELS]
+        if unknown:
+            raise KeyError(
+                f"unknown suite kernels {unknown}; known: {list(SUITE_KERNELS)}"
+            )
+        return [SUITE_KERNELS[n] for n in names]
+
+    def resolved_set_classes(self) -> List[str]:
+        names = [n for n in (self.set_classes or set_class_names())
+                 if n != REFERENCE_BACKEND]
+        # The reference backend always runs, and runs *first* — it anchors
+        # every cell's rel_error and the exact-backend cross-check.
+        return [REFERENCE_BACKEND] + names
+
+    def resolved_orderings(self) -> List[str]:
+        names = self.orderings or tuple(sorted(ORDERINGS))
+        unknown = [n for n in names if n not in ORDERINGS]
+        if unknown:
+            raise KeyError(
+                f"unknown orderings {unknown}; known: {sorted(ORDERINGS)}"
+            )
+        return list(names)
+
+    @classmethod
+    def smoke(cls) -> "ExperimentPlan":
+        """The tiny CI matrix: 2 backends × 2 orderings × 3 kernels."""
+        return cls(
+            datasets=("sc-ht-mini",),
+            kernels=("tc", "4clique", "bk"),
+            set_classes=("bitset", "bloom"),
+            orderings=("DGR", "ADG"),
+            repeats=1,
+        )
+
+
+def _cell_orderings(kernel: SuiteKernel, orderings: Sequence[str]) -> List[str]:
+    return list(orderings) if kernel.uses_ordering else ["-"]
+
+
+def run_suite(
+    plan: ExperimentPlan, verbose: bool = False
+) -> List[Dict[str, object]]:
+    """Execute *plan*; return one artifact payload per dataset.
+
+    Every cell runs one untimed warm-up pass and is then timed
+    best-of-``plan.repeats`` and metered with the set-algebra software
+    counters — so cells measure the kernel itself, on comparable (warm)
+    footing, rather than whichever cell happened to trigger a one-time
+    materialization.  Per dataset, one shared
+    :class:`~repro.graph.set_graph.MaterializationCache` serves all cells,
+    so each (backend, ordering) materialization happens exactly once; the
+    cache hit/miss stats land in the artifact.
+    """
+    payloads: List[Dict[str, object]] = []
+    kernels = plan.resolved_kernels()
+    backend_names = plan.resolved_set_classes()
+    orderings = plan.resolved_orderings()
+
+    for dataset in plan.datasets:
+        graph = load_dataset(dataset)
+        cache = MaterializationCache()
+        reference: Dict[Tuple[str, str], int] = {}
+        cells: List[Dict[str, object]] = []
+
+        for backend_name in backend_names:
+            args = Args(
+                dataset=dataset, set_class=backend_name,
+                ordering=orderings[0] if orderings else "DGR", eps=plan.eps,
+                k=plan.k, repeats=plan.repeats,
+                bloom_bits=plan.bloom_bits, kmv_k=plan.kmv_k,
+                bloom_shared_bits=plan.bloom_shared_bits,
+                bloom_fpr=plan.bloom_fpr,
+            )
+            set_cls = args.resolve_set_class_for_graph(graph)
+            for kernel in kernels:
+                for ordering in _cell_orderings(kernel, orderings):
+                    # Warm-up pass (untimed): populates the shared cache so
+                    # every cell's measured runs meter the *kernel*, not
+                    # whichever cell happened to pay the one-time
+                    # materialization — without it, the reference backend
+                    # (which runs first) would absorb the ordering cost
+                    # and every later backend's speedup would be inflated.
+                    kernel.runner(graph, set_cls, ordering, plan, cache)
+                    best = float("inf")
+                    value = None
+                    delta = None
+                    for _ in range(max(1, plan.repeats)):
+                        before = _counters.snapshot()
+                        t0 = time.perf_counter()
+                        value = kernel.runner(
+                            graph, set_cls, ordering, plan, cache
+                        )
+                        elapsed = time.perf_counter() - t0
+                        delta = before.delta(_counters.snapshot())
+                        best = min(best, elapsed)
+                    key = (kernel.name, ordering)
+                    if backend_name == REFERENCE_BACKEND:
+                        reference[key] = value
+                    ref = reference.get(key, value)
+                    cells.append({
+                        "kernel": kernel.name,
+                        "ordering": ordering,
+                        "set_class": backend_name,
+                        "resolved_class": set_cls.__name__,
+                        "exact": bool(set_cls.IS_EXACT),
+                        "value": value,
+                        "reference": ref,
+                        "rel_error": abs(value - ref) / max(ref, 1),
+                        "seconds": best,
+                        "set_ops": delta.set_ops,
+                        "point_ops": delta.point_ops,
+                        "memory_traffic": delta.memory_traffic,
+                        "sketch_builds": delta.sketch_builds,
+                    })
+                    if verbose:
+                        print(
+                            f"  {dataset} {kernel.name:<9} {ordering:<4} "
+                            f"{backend_name:<10} value={value} "
+                            f"({1000 * best:.1f} ms)"
+                        )
+
+        payloads.append({
+            "schema": SCHEMA,
+            "dataset": dataset,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "plan": asdict(plan),
+            "reference_backend": REFERENCE_BACKEND,
+            "materialization": cache.stats(),
+            "cells": cells,
+        })
+    return payloads
+
+
+def _print_payload(payload: Dict[str, object]) -> None:
+    rows = [
+        [
+            c["kernel"],
+            c["ordering"],
+            c["set_class"],
+            "yes" if c["exact"] else "no",
+            f"{c['value']:,}",
+            f"{100 * c['rel_error']:.2f}%",
+            f"{1000 * c['seconds']:.1f} ms",
+            f"{c['set_ops']:,}",
+        ]
+        for c in payload["cells"]
+    ]
+    mat = payload["materialization"]
+    print_table(
+        f"Experiment suite — {payload['dataset']} "
+        f"(n={payload['num_nodes']:,}, m={payload['num_edges']:,}; "
+        f"materializations {mat['misses']}, cache hits {mat['hits']})",
+        ["kernel", "order", "backend", "exact", "value", "rel err",
+         "time", "set ops"],
+        rows,
+    )
+
+
+def _exact_mismatches(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Exact-backend cells disagreeing with the reference — must be empty."""
+    return [
+        c for c in payload["cells"] if c["exact"] and c["rel_error"] != 0.0
+    ]
+
+
+def build_suite_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro suite`` argument surface."""
+    parser = argparse.ArgumentParser(
+        prog="repro suite",
+        description="declarative kernel × backend × ordering experiment suite",
+    )
+    parser.add_argument("--datasets", nargs="+", default=["sc-ht-mini"],
+                        help="registry dataset names")
+    parser.add_argument("--kernels", nargs="+", default=[],
+                        choices=sorted(SUITE_KERNELS), metavar="KERNEL",
+                        help=f"suite kernels (default: all of "
+                             f"{sorted(SUITE_KERNELS)})")
+    parser.add_argument("--set-classes", nargs="+", default=[],
+                        metavar="BACKEND",
+                        help="set backends (default: every registered name)")
+    parser.add_argument("--orderings", nargs="+", default=["DGR", "ADG"],
+                        choices=sorted(ORDERINGS), metavar="ORDER",
+                        help="vertex orderings for ordering-aware kernels")
+    parser.add_argument("--k", type=int, default=4, help="clique size k")
+    parser.add_argument("--eps", type=float, default=0.1,
+                        help="ADG approximation parameter")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per cell (best-of)")
+    add_sketch_budget_args(parser)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the tiny CI matrix "
+                             "(2 backends × 2 orderings × 3 kernels) and "
+                             "ignore the sweep-selection flags")
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def plan_from_argv(argv: Optional[List[str]] = None) -> ExperimentPlan:
+    """Parse ``python -m repro suite`` flags into an :class:`ExperimentPlan`."""
+    return _plan_from_namespace(build_suite_parser().parse_args(argv))
+
+
+def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
+    if ns.smoke:
+        return ExperimentPlan.smoke()
+    return ExperimentPlan(
+        datasets=tuple(ns.datasets),
+        kernels=tuple(ns.kernels),
+        set_classes=tuple(ns.set_classes),
+        orderings=tuple(ns.orderings),
+        k=ns.k,
+        eps=ns.eps,
+        repeats=ns.repeats,
+        bloom_bits=ns.bloom_bits,
+        kmv_k=ns.kmv_k,
+        bloom_shared_bits=ns.bloom_shared_bits,
+        bloom_fpr=ns.bloom_fpr,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro suite``."""
+    ns = build_suite_parser().parse_args(argv)
+    plan = _plan_from_namespace(ns)
+    payloads = run_suite(plan, verbose=ns.verbose)
+    bad = 0
+    for payload in payloads:
+        _print_payload(payload)
+        path = write_artifact(f"suite_{payload['dataset']}", payload)
+        print(f"artifact: {path}")
+        mismatches = _exact_mismatches(payload)
+        for cell in mismatches:
+            print(
+                f"EXACT-BACKEND MISMATCH: {cell['kernel']}/{cell['ordering']}"
+                f"/{cell['set_class']} = {cell['value']} "
+                f"!= reference {cell['reference']}",
+                file=sys.stderr,
+            )
+        bad += len(mismatches)
+    return 1 if bad else 0
