@@ -4,6 +4,8 @@ The script form runs one :class:`~repro.platform.suite.ExperimentPlan`
 through the same entry point as ``python -m repro suite``::
 
     PYTHONPATH=src python benchmarks/bench_suite_matrix.py --smoke
+    PYTHONPATH=src python benchmarks/bench_suite_matrix.py --smoke \
+        --workers 4 --schedule static
     PYTHONPATH=src python benchmarks/bench_suite_matrix.py \
         --datasets sc-ht-mini --set-classes sorted bitset bloom kmv
 
@@ -12,6 +14,9 @@ publishes: every planned kernel runs under every planned backend, exact
 backends agree bit-for-bit with the reference, approximate backends carry
 a measured (not assumed) relative error, and the shared materialization
 cache actually de-duplicates the per-(backend, ordering) conversions.
+The parallel form additionally asserts the process-pool runner's artifact
+is cell-for-cell identical to the sequential one up to timing, and that
+the measured wall-clock lands next to the scheduler-model prediction.
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ def test_suite_smoke_matrix(benchmark, show_table):
     assert os.path.exists(path)
     with open(path) as handle:
         on_disk = json.load(handle)
-    assert on_disk["schema"] == "gms-suite/v1"
+    assert on_disk["schema"] == "gms-suite/v2"
 
     cells = payload["cells"]
     show_table(
@@ -70,3 +75,36 @@ def test_suite_smoke_matrix(benchmark, show_table):
 
 if __name__ == "__main__":
     raise SystemExit(suite_main())
+
+
+@pytest.mark.benchmark(group="suite")
+def test_suite_parallel_matches_sequential(benchmark, show_table):
+    """The smoke plan through the 2-worker pool: identical up to timing."""
+    from dataclasses import replace
+
+    from repro.platform.runner import diff_payloads
+
+    sequential = run_suite(ExperimentPlan.smoke())[0]
+    plan = replace(ExperimentPlan.smoke(), workers=2, schedule="static")
+    payloads = benchmark.pedantic(
+        lambda: run_suite(plan), rounds=1, iterations=1
+    )
+    parallel = payloads[0]
+    assert diff_payloads(sequential, parallel) == []
+
+    execution = parallel["execution"]
+    modeled = execution["modeled"]["static"]
+    show_table(
+        "suite parallel — measured vs modeled (2 workers, static)",
+        ["metric", "value"],
+        [
+            ["cells", len(parallel["cells"])],
+            ["cells total", f"{1000 * execution['cells_seconds_total']:.1f} ms"],
+            ["measured wall", f"{1000 * execution['measured_seconds']:.1f} ms"],
+            ["measured speedup", f"{execution['measured_speedup']:.2f}x"],
+            ["modeled makespan", f"{1000 * modeled['makespan_seconds']:.1f} ms"],
+            ["modeled speedup", f"{modeled['speedup']:.2f}x"],
+        ],
+    )
+    assert execution["workers"] == 2
+    assert modeled["speedup"] > 1.0

@@ -11,6 +11,12 @@ shows the two extension hooks that make the sweep *registry-driven*:
   :func:`repro.platform.suite.register_suite_kernel` joins the kernel
   axis.
 
+The second half re-runs the same plan on a 2-process pool
+(``workers=2`` — the library face of ``python -m repro suite --workers
+2``) with a bounded ``MaterializationCache``, and checks the parallel
+artifact is cell-for-cell identical to the sequential one up to timing
+— custom kernel included, since workers are forked from this process.
+
 Run with::
 
     PYTHONPATH=src python examples/suite_run.py
@@ -18,7 +24,10 @@ Run with::
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.platform import print_table
+from repro.platform.runner import diff_payloads
 from repro.platform.suite import (
     SUITE_KERNELS,
     ExperimentPlan,
@@ -84,6 +93,31 @@ def main() -> None:
         total_ms = 1000 * sum(c["seconds"] for c in mine)
         print(f"{backend:<8} worst error {100 * worst:.2f}%  "
               f"total kernel time {total_ms:.1f} ms")
+
+    # 5. The same plan through the sharded process-pool runtime, with the
+    #    per-worker MaterializationCache bounded to 16 MiB.  The artifact
+    #    must agree with the sequential run on every deterministic field
+    #    (suite-diff's check) — only the timing differs.  Caveat: that
+    #    identity is guaranteed as long as the budget never evicts a
+    #    cell's own materializations between its warm-up and metered
+    #    runs (a too-tight budget would fold re-materialization work
+    #    into some cells' counters), so check evictions before diffing.
+    parallel = run_suite(replace(
+        plan, workers=2, schedule="static", cache_budget_bytes=16 << 20,
+    ))[0]
+    assert parallel["materialization"]["evictions"] == 0
+    assert diff_payloads(payloads[0], parallel) == []
+    execution = parallel["execution"]
+    modeled = execution["modeled"][execution["schedule"]]
+    mat = parallel["materialization"]
+    print(f"\nparallel run ({execution['schedule']} x "
+          f"{execution['workers']} workers): "
+          f"{1000 * execution['measured_seconds']:.1f} ms wall, "
+          f"{execution['measured_speedup']:.2f}x over summed cell times "
+          f"(scheduler model: {modeled['speedup']:.2f}x); "
+          f"pool-wide cache: {mat['hits']} hits, {mat['misses']} misses, "
+          f"{mat['evictions']} evictions under the byte budget")
+    print("parallel artifact identical to sequential up to timing: OK")
 
     del SUITE_KERNELS["wedges"]  # leave the registry as we found it
 

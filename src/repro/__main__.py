@@ -16,11 +16,16 @@ Commands
 ``color <dataset>``     graph coloring (JP priorities / Johansson)
 ``budget-sweep``        CLI-driven sketch-budget sweep → results/ artifact
 ``suite``               declarative kernel × backend × ordering experiment
-                        suite (``--smoke`` for the tiny CI matrix) →
+                        suite (``--smoke`` for the tiny CI matrix;
+                        ``--workers N --schedule static|dynamic`` shards
+                        the cells over a process pool) →
                         ``results/suite_<dataset>.json``
+``suite-diff``          compare two suite artifacts up to timing fields
+                        (the parallel-vs-sequential determinism check)
 ``aggregate``           merge suite + budget-sweep artifacts into
                         ``results/aggregate.json`` (per-backend
-                        speed-vs-accuracy summaries)
+                        speed-vs-accuracy summaries + measured-vs-modeled
+                        parallel speedups)
 """
 
 from __future__ import annotations
@@ -106,6 +111,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("rest", nargs=argparse.REMAINDER)
 
     p = sub.add_parser(
+        "suite-diff",
+        help="compare two suite artifacts up to timing fields "
+             "(parallel-vs-sequential determinism check)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+
+    p = sub.add_parser(
         "aggregate",
         help="merge suite/budget-sweep artifacts into results/aggregate.json",
         add_help=False,
@@ -132,10 +145,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return budget_sweep_main(argv[1:])
     if argv and argv[0] == "suite":
         # Same forwarding pattern: the suite owns its own parser (plan
-        # selection + the shared sketch-budget flags).
+        # selection + the shared sketch-budget and parallel flags).
         from .platform.suite import main as suite_main
 
         return suite_main(argv[1:])
+    if argv and argv[0] == "suite-diff":
+        from .platform.runner import diff_main
+
+        return diff_main(argv[1:])
     if argv and argv[0] == "aggregate":
         from .platform.aggregate import main as aggregate_main
 

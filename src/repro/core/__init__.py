@@ -7,7 +7,7 @@ set-class registry, and the software performance counters.
 
 from .bit_set import BitSet
 from .compressed_set import CompressedSortedSet
-from .counters import COUNTERS, Snapshot, reset, snapshot
+from .counters import COUNTERS, Snapshot, merge_snapshots, reset, snapshot
 from .hash_set import HashSet
 from .interface import SetBase
 from .ops import (
@@ -43,6 +43,7 @@ __all__ = [
     "set_class_names",
     "COUNTERS",
     "Snapshot",
+    "merge_snapshots",
     "snapshot",
     "reset",
     "intersect_merge",

@@ -70,6 +70,20 @@ class Counters:
         """Record one from-scratch sketch construction (full member hash)."""
         self.sketch_builds += 1
 
+    def absorb(self, delta: "Snapshot") -> None:
+        """Fold a :class:`Snapshot` delta into this block.
+
+        The parallel suite runner uses this to merge per-worker counter
+        deltas back into the parent process's global block, so process-wide
+        totals stay meaningful whether the cells ran in-process or in a
+        worker pool.
+        """
+        self.set_ops += delta.set_ops
+        self.point_ops += delta.point_ops
+        self.elements_read += delta.elements_read
+        self.elements_written += delta.elements_written
+        self.sketch_builds += delta.sketch_builds
+
     @property
     def memory_traffic(self) -> int:
         """Total element traffic — the quantity the stall model consumes."""
@@ -96,6 +110,29 @@ class Snapshot:
             sketch_builds=later.sketch_builds - self.sketch_builds,
         )
 
+    def merge(self, other: "Snapshot") -> "Snapshot":
+        """Elementwise sum of two deltas.
+
+        Merging is associative and commutative (it is integer addition per
+        field), which is what makes sharded execution safe: the merge of
+        per-worker deltas equals the sequential totals regardless of how
+        the cells were chunked or in which order the shards complete.
+        """
+        return Snapshot(
+            set_ops=self.set_ops + other.set_ops,
+            point_ops=self.point_ops + other.point_ops,
+            elements_read=self.elements_read + other.elements_read,
+            elements_written=self.elements_written + other.elements_written,
+            sketch_builds=self.sketch_builds + other.sketch_builds,
+        )
+
+    __add__ = merge
+
+    @classmethod
+    def zero(cls) -> "Snapshot":
+        """The merge identity."""
+        return cls(0, 0, 0, 0, 0)
+
     @property
     def memory_traffic(self) -> int:
         return self.elements_read + self.elements_written
@@ -114,6 +151,14 @@ def snapshot() -> Snapshot:
         elements_written=COUNTERS.elements_written,
         sketch_builds=COUNTERS.sketch_builds,
     )
+
+
+def merge_snapshots(snapshots) -> Snapshot:
+    """Merge an iterable of :class:`Snapshot` deltas into one total."""
+    total = Snapshot.zero()
+    for snap in snapshots:
+        total = total.merge(snap)
+    return total
 
 
 def reset() -> None:

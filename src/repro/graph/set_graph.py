@@ -23,7 +23,8 @@ the two materialization services the unified mining pipeline is built on:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Type
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -160,27 +161,87 @@ class MaterializationCache:
 
     Entries are keyed by graph *identity* (plus backend class and ordering
     parameters); the cache keeps a strong reference to each keyed graph so
-    an ``id()`` can never be recycled while its entry is alive.  The cache
-    is meant to be owned by a driver (one per suite run) and dropped
-    afterwards, not kept as a process-global.
+    an ``id()`` can never be recycled while its entry is alive.
+
+    ``budget_bytes`` bounds the resident :class:`SetGraph` payload (sized
+    via :meth:`SetGraph.storage_bytes`): when an insertion pushes the
+    total over the budget, least-recently-used entries are evicted until
+    it fits — including, if the new entry alone exceeds the whole budget,
+    the new entry itself, which is then handed out uncached.  Resident
+    bytes therefore *never* exceed the budget.  Eviction only drops the
+    cache's reference: :class:`SetGraph` objects already handed out stay
+    fully valid (a later re-request simply rebuilds an equivalent one).
+    ``OrderingResult`` entries are permutation-sized (two int arrays), a
+    rounding error next to any materialized ``SetGraph``, so they are
+    memoized unconditionally and do not count against the budget — but
+    once a graph's *last* ``SetGraph`` entry is evicted, its memoized
+    orderings and the pinning reference to the source ``CSRGraph`` are
+    released too, so a bounded cache serving a stream of distinct graphs
+    holds no memory (beyond the budget) for graphs it no longer caches.
+    ``budget_bytes=None`` (the default) keeps the historical unbounded
+    behavior — right for one suite run, wrong for a long-lived service.
 
     Contract: every :class:`SetGraph` handed out is **shared and
     read-only** — kernels must not mutate its neighborhood sets.
-    ``hits``/``misses`` meter the materialization savings and are reported
-    in the suite artifact.
+    ``hits``/``misses``/``evictions`` meter the materialization savings
+    (and churn) and are reported in the suite artifact.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, budget_bytes: Optional[int] = None) -> None:
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0 or None")
+        self.budget_bytes = budget_bytes
         self._orderings: Dict[tuple, object] = {}
-        self._set_graphs: Dict[tuple, SetGraph] = {}
-        self._oriented: Dict[tuple, SetGraph] = {}
+        # One LRU over both SetGraph families; keys are tagged with the
+        # entry kind so stats() can still report them separately.
+        self._graphs: "OrderedDict[tuple, SetGraph]" = OrderedDict()
+        self._sizes: Dict[tuple, int] = {}
         self._pinned: Dict[int, CSRGraph] = {}
         self.hits = 0
         self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.resident_bytes = 0
 
     def _key(self, graph: CSRGraph) -> int:
         self._pinned[id(graph)] = graph
         return id(graph)
+
+    def _lookup(self, key: tuple) -> Optional[SetGraph]:
+        entry = self._graphs.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._graphs.move_to_end(key)
+        return entry
+
+    def _release_if_unreferenced(self, graph_id: int) -> None:
+        """Drop a graph's orderings and pin once its last entry is gone.
+
+        Without this, a bounded cache serving a stream of distinct graphs
+        would still pin every ``CSRGraph`` (and ordering) it ever saw —
+        the budget would hold while real memory leaked.  Dropping the
+        orderings trades an occasional cheap recompute for a hard bound.
+        """
+        if any(key[1] == graph_id for key in self._graphs):
+            return
+        for key in [k for k in self._orderings if k[0] == graph_id]:
+            del self._orderings[key]
+        self._pinned.pop(graph_id, None)
+
+    def _insert(self, key: tuple, sg: SetGraph) -> None:
+        """Insert *sg* as most-recently-used, then evict LRU-first to fit."""
+        size = sg.storage_bytes()
+        self._graphs[key] = sg
+        self._sizes[key] = size
+        self.resident_bytes += size
+        self.insertions += 1
+        if self.budget_bytes is None:
+            return
+        while self.resident_bytes > self.budget_bytes and self._graphs:
+            victim, _ = self._graphs.popitem(last=False)
+            self.resident_bytes -= self._sizes.pop(victim)
+            self.evictions += 1
+            self._release_if_unreferenced(victim[1])
 
     def ordering(self, graph: CSRGraph, name: str, **kwargs):
         """Memoized :func:`~repro.preprocess.ordering.compute_ordering`."""
@@ -197,13 +258,13 @@ class MaterializationCache:
 
     def set_graph(self, graph: CSRGraph, set_cls: Type[SetBase]) -> SetGraph:
         """Memoized :func:`build_set_graph` for one backend."""
-        key = (self._key(graph), set_cls)
-        if key in self._set_graphs:
-            self.hits += 1
-            return self._set_graphs[key]
+        key = ("set_graph", self._key(graph), set_cls)
+        cached = self._lookup(key)
+        if cached is not None:
+            return cached
         self.misses += 1
         sg = build_set_graph(graph, set_cls)
-        self._set_graphs[key] = sg
+        self._insert(key, sg)
         return sg
 
     def oriented(
@@ -211,30 +272,41 @@ class MaterializationCache:
     ) -> Tuple[object, SetGraph]:
         """Memoized ``(OrderingResult, oriented SetGraph)`` for one cell."""
         order_res = self.ordering(graph, name, **kwargs)
-        key = (self._key(graph), set_cls, name, tuple(sorted(kwargs.items())))
-        if key in self._oriented:
-            self.hits += 1
-            return order_res, self._oriented[key]
+        key = ("oriented", self._key(graph), set_cls, name,
+               tuple(sorted(kwargs.items())))
+        cached = self._lookup(key)
+        if cached is not None:
+            return order_res, cached
         self.misses += 1
         dag = build_oriented_set_graph(graph, order_res.rank, set_cls)
-        self._oriented[key] = dag
+        self._insert(key, dag)
         return order_res, dag
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/entry counts for the suite artifact."""
+    def _count(self, kind: str) -> int:
+        return sum(1 for key in self._graphs if key[0] == kind)
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss/eviction/entry/byte counts for the suite artifact."""
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
             "orderings": len(self._orderings),
-            "set_graphs": len(self._set_graphs),
-            "oriented": len(self._oriented),
+            "set_graphs": self._count("set_graph"),
+            "oriented": self._count("oriented"),
+            "resident_bytes": self.resident_bytes,
+            "budget_bytes": self.budget_bytes,
         }
 
     def clear(self) -> None:
         """Drop every entry (and the graph references pinning the keys)."""
         self._orderings.clear()
-        self._set_graphs.clear()
-        self._oriented.clear()
+        self._graphs.clear()
+        self._sizes.clear()
         self._pinned.clear()
         self.hits = 0
         self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.resident_bytes = 0

@@ -11,12 +11,14 @@ from .bench import (
 from .budget_sweep import run_budget_sweep
 from .cli import (
     Args,
+    add_parallel_args,
     add_sketch_budget_args,
     build_parser,
     parse_args,
     resolve_set_class,
 )
 from .pipeline import Pipeline, PipelineReport, StageRecord
+from .runner import diff_payloads, run_suite_parallel, strip_timing
 from .suite import (
     SUITE_KERNELS,
     ExperimentPlan,
@@ -30,6 +32,7 @@ __all__ = [
     "PipelineReport",
     "StageRecord",
     "Args",
+    "add_parallel_args",
     "add_sketch_budget_args",
     "build_parser",
     "parse_args",
@@ -45,5 +48,8 @@ __all__ = [
     "SUITE_KERNELS",
     "register_suite_kernel",
     "run_suite",
+    "run_suite_parallel",
+    "strip_timing",
+    "diff_payloads",
     "aggregate_results",
 ]

@@ -11,7 +11,7 @@ cannot show.
 Aggregate schema (``results/aggregate.json``)::
 
     {
-      "schema": "gms-aggregate/v1",
+      "schema": "gms-aggregate/v2",
       "sources": {"suite": [paths...], "budget_sweep": [paths...]},
       "datasets": [names...],
       "backends": {
@@ -23,11 +23,28 @@ Aggregate schema (``results/aggregate.json``)::
           "mean_seconds": float,   # raw speed across all folded cells
           "mean_speedup": float,   # vs the reference/exact twin, where known
           "per_kernel": {
-            "<kernel>": {"cells": int, "mean_rel_error": float,
-                          "mean_seconds": float}, ...
+            "<kernel>": {
+              "cells": int, "mean_rel_error": float,
+              "mean_seconds": float,
+              # work-distribution stats from the gms-suite/v2 per-cell
+              # extras (absent for kernels that report none):
+              "tasks": int,             # summed kClist/BK outer tasks
+              "recursive_calls": int,   # summed BK recursion size
+              "cost_imbalance": float,  # mean of per-cell max/mean
+                                        # task-cost ratios (1.0 = flat)
+            }, ...
           },
         }, ...
       },
+      "parallel": [              # measured-vs-modeled speedups, one row
+        {                        # per suite run with an execution block
+          "dataset": str, "workers": int, "schedule": str,
+          "measured_seconds": float, "cells_seconds_total": float,
+          "measured_speedup": float,
+          "modeled_speedup": float,    # scheduler model, same policy
+          "model_accuracy": float,     # measured / modeled speedup
+        }, ...
+      ],
     }
 
 Backends are keyed by the *plan-level* registry name for suite cells
@@ -51,7 +68,9 @@ from .bench import print_table, write_artifact
 __all__ = ["AGGREGATE_SCHEMA", "aggregate_results", "main"]
 
 #: Aggregate schema identifier, bumped on breaking layout changes.
-AGGREGATE_SCHEMA = "gms-aggregate/v1"
+#: v2 (over v1): per-kernel work-distribution stats folded from the
+#: gms-suite/v2 cell extras, plus the "parallel" measured-vs-modeled table.
+AGGREGATE_SCHEMA = "gms-aggregate/v2"
 
 
 def _mean(values: List[float]) -> float:
@@ -67,7 +86,8 @@ class _BackendFold:
         self.speedups: List[float] = []
         self.exact = True
         self.per_kernel: Dict[str, Dict[str, List[float]]] = defaultdict(
-            lambda: {"rel_errors": [], "seconds": []}
+            lambda: {"rel_errors": [], "seconds": [], "tasks": [],
+                     "recursive_calls": [], "imbalances": []}
         )
 
     def add(
@@ -77,6 +97,7 @@ class _BackendFold:
         seconds: float,
         exact: bool,
         speedup: Optional[float] = None,
+        extras: Optional[Dict[str, object]] = None,
     ) -> None:
         self.rel_errors.append(rel_error)
         self.seconds.append(seconds)
@@ -86,6 +107,16 @@ class _BackendFold:
         bucket = self.per_kernel[kernel]
         bucket["rel_errors"].append(rel_error)
         bucket["seconds"].append(seconds)
+        # gms-suite/v2 work profiles; v1 artifacts simply carry none.
+        extras = extras or {}
+        if "recursive_calls" in extras:
+            bucket["recursive_calls"].append(int(extras["recursive_calls"]))
+        costs = extras.get("task_costs") or []
+        if costs:
+            bucket["tasks"].append(len(costs))
+            mean_cost = sum(costs) / len(costs)
+            if mean_cost > 0:
+                bucket["imbalances"].append(max(costs) / mean_cost)
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -96,14 +127,24 @@ class _BackendFold:
             "mean_seconds": _mean(self.seconds),
             "mean_speedup": _mean(self.speedups),
             "per_kernel": {
-                kernel: {
-                    "cells": len(bucket["rel_errors"]),
-                    "mean_rel_error": _mean(bucket["rel_errors"]),
-                    "mean_seconds": _mean(bucket["seconds"]),
-                }
+                kernel: self._kernel_summary(bucket)
                 for kernel, bucket in sorted(self.per_kernel.items())
             },
         }
+
+    @staticmethod
+    def _kernel_summary(bucket: Dict[str, List[float]]) -> Dict[str, object]:
+        summary: Dict[str, object] = {
+            "cells": len(bucket["rel_errors"]),
+            "mean_rel_error": _mean(bucket["rel_errors"]),
+            "mean_seconds": _mean(bucket["seconds"]),
+        }
+        if bucket["tasks"]:
+            summary["tasks"] = int(sum(bucket["tasks"]))
+            summary["cost_imbalance"] = _mean(bucket["imbalances"])
+        if bucket["recursive_calls"]:
+            summary["recursive_calls"] = int(sum(bucket["recursive_calls"]))
+        return summary
 
 
 def _fold_suite(payload: Dict[str, object], folds: Dict[str, _BackendFold]) -> None:
@@ -123,8 +164,32 @@ def _fold_suite(payload: Dict[str, object], folds: Dict[str, _BackendFold]) -> N
         )
         folds[cell["set_class"]].add(
             cell["kernel"], cell["rel_error"], cell["seconds"],
-            cell["exact"], speedup,
+            cell["exact"], speedup, cell.get("extras"),
         )
+
+
+def _parallel_row(payload: Dict[str, object]) -> Optional[Dict[str, object]]:
+    """One measured-vs-modeled row from a payload's execution block."""
+    execution = payload.get("execution")
+    if not execution:
+        return None  # gms-suite/v1 artifact
+    modeled = execution["modeled"].get(
+        execution["schedule"], execution["modeled"].get("dynamic", {})
+    )
+    modeled_speedup = modeled.get("speedup", 0.0)
+    measured_speedup = execution["measured_speedup"]
+    return {
+        "dataset": payload["dataset"],
+        "workers": execution["workers"],
+        "schedule": execution["schedule"],
+        "measured_seconds": execution["measured_seconds"],
+        "cells_seconds_total": execution["cells_seconds_total"],
+        "measured_speedup": measured_speedup,
+        "modeled_speedup": modeled_speedup,
+        "model_accuracy": (
+            measured_speedup / modeled_speedup if modeled_speedup else 0.0
+        ),
+    }
 
 
 def _fold_budget_sweep(
@@ -160,11 +225,15 @@ def aggregate_results(
 
     folds: Dict[str, _BackendFold] = defaultdict(_BackendFold)
     datasets = []
+    parallel: List[Dict[str, object]] = []
     for path in suite_paths:
         with open(path) as handle:
             payload = json.load(handle)
         datasets.append(payload["dataset"])
         _fold_suite(payload, folds)
+        row = _parallel_row(payload)
+        if row is not None:
+            parallel.append(row)
     for path in sweep_paths:
         with open(path) as handle:
             payload = json.load(handle)
@@ -181,6 +250,7 @@ def aggregate_results(
         "backends": {
             name: fold.summary() for name, fold in sorted(folds.items())
         },
+        "parallel": parallel,
     }
 
 
@@ -206,6 +276,26 @@ def _print_aggregate(payload: Dict[str, object]) -> None:
          "speedup"],
         rows,
     )
+    parallel = payload.get("parallel") or []
+    if parallel:
+        print_table(
+            "Measured vs modeled parallel speedup (runtime/scheduler.py)",
+            ["dataset", "sched", "workers", "wall", "cells total",
+             "measured", "modeled", "accuracy"],
+            [
+                [
+                    row["dataset"],
+                    row["schedule"],
+                    row["workers"],
+                    f"{1000 * row['measured_seconds']:.1f} ms",
+                    f"{1000 * row['cells_seconds_total']:.1f} ms",
+                    f"{row['measured_speedup']:.2f}x",
+                    f"{row['modeled_speedup']:.2f}x",
+                    f"{100 * row['model_accuracy']:.0f}%",
+                ]
+                for row in parallel
+            ],
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

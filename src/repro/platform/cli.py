@@ -18,11 +18,38 @@ from ..preprocess.ordering import ORDERINGS
 
 __all__ = [
     "Args",
+    "add_parallel_args",
     "add_sketch_budget_args",
     "build_parser",
     "parse_args",
     "resolve_set_class",
 ]
+
+#: Chunking policies of the real process-pool runner (a subset of the
+#: simulated :data:`repro.runtime.scheduler.SCHEDULER_POLICIES` — work
+#: stealing needs shared deques a process pool does not have).
+RUNNER_SCHEDULES = ("static", "dynamic")
+
+
+def add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared parallel-execution flags.
+
+    Used by the benchmark parser and the ``python -m repro suite``
+    subcommand so ``--workers``/``--schedule``/``--cache-budget-bytes``
+    mean the same thing everywhere.
+    """
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool workers for suite execution "
+                             "(1 = sequential, in-process)")
+    parser.add_argument("--schedule", default="dynamic",
+                        choices=RUNNER_SCHEDULES,
+                        help="cell chunking policy for --workers > 1: "
+                             "'static' = contiguous shards, 'dynamic' = "
+                             "one cell per pool task (greedy queue)")
+    parser.add_argument("--cache-budget-bytes", type=int, default=0,
+                        help="MaterializationCache LRU budget in bytes "
+                             "(per process; sized via SetGraph."
+                             "storage_bytes; 0 = unbounded)")
 
 
 def add_sketch_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -68,6 +95,10 @@ class Args:
     kmv_k: int = 0
     bloom_shared_bits: int = 0
     bloom_fpr: float = 0.0
+    # Real (not simulated) parallel execution of the experiment suite.
+    workers: int = 1
+    schedule: str = "dynamic"
+    cache_budget_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.threads is None:
@@ -123,6 +154,7 @@ def build_parser(description: str = "GMS reproduction benchmark") -> argparse.Ar
     parser.add_argument("--eps", type=float, default=0.1,
                         help="ADG approximation parameter")
     add_sketch_budget_args(parser)
+    add_parallel_args(parser)
     parser.add_argument("--k", type=int, default=4, help="clique size k")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -150,6 +182,9 @@ def parse_args(argv: Optional[List[str]] = None,
         kmv_k=ns.kmv_k,
         bloom_shared_bits=ns.bloom_shared_bits,
         bloom_fpr=ns.bloom_fpr,
+        workers=ns.workers,
+        schedule=ns.schedule,
+        cache_budget_bytes=ns.cache_budget_bytes,
     )
 
 

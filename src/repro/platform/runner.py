@@ -1,0 +1,344 @@
+"""Sharded process-pool execution of the experiment suite.
+
+``run_suite`` historically executed every cell of the kernel × backend ×
+ordering matrix sequentially; this module is the real-parallel runtime
+behind ``plan.workers > 1`` (CLI: ``python -m repro suite --workers N
+--schedule static|dynamic``).  It closes the loop the paper draws between
+*modeled* and *measured* parallel speedups: the very same per-cell warm
+kernel times that feed :func:`repro.runtime.scheduler.simulate_makespan`
+are produced by a run whose wall clock is recorded next to the model's
+prediction (the artifact's ``execution`` block).
+
+Design
+------
+The plan's cell list is expanded once, in canonical order
+(:func:`repro.platform.suite.expand_cells`), and sharded across a
+:class:`concurrent.futures.ProcessPoolExecutor` under one of two chunking
+policies, deliberately mirroring the simulated ``SCHEDULER_POLICIES``:
+
+* ``static`` — contiguous shards via
+  :func:`repro.runtime.scheduler.static_chunks` (the *same* partitioning
+  rule the makespan model uses), one pool task per shard;
+* ``dynamic`` — one pool task per cell; the executor's shared queue is
+  the greedy list scheduler.
+
+Each worker process owns its graph + :class:`MaterializationCache`
+(bounded by ``plan.cache_budget_bytes``) in module-global state that
+persists across pool tasks, so dynamic scheduling does not reload the
+dataset per cell.  Workers return finished cell payloads plus their
+counter deltas; the parent re-assembles cells by index, merges the
+per-worker :class:`~repro.core.counters.Snapshot` deltas (associative +
+commutative, so shard order cannot change the totals) into its own global
+block, and finalizes the reference cross-check exactly as the sequential
+path does.  The resulting artifact is **cell-by-cell identical to the
+sequential run up to timing fields** — pinned by the determinism
+regression tests and by ``python -m repro suite-diff``.
+
+Worker processes are forked where the platform allows it (Linux/macOS
+CPython builds with ``fork``), so runtime-registered suite kernels and
+set backends are visible in the pool; under ``spawn`` only
+import-time-registered ones are.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..core import counters as _counters
+from ..core.counters import Snapshot, merge_snapshots
+from ..core.interface import SetBase
+from ..graph import load_dataset  # noqa: F401 — worker-side import
+from ..graph.set_graph import MaterializationCache
+from ..runtime.scheduler import static_chunks
+from . import suite as _suite
+
+__all__ = [
+    "run_suite_parallel",
+    "strip_timing",
+    "diff_payloads",
+    "diff_main",
+]
+
+#: Cell-level keys whose values are wall-clock measurements; everything
+#: else in a cell is deterministic and must match across run modes.
+TIMING_CELL_KEYS = ("seconds",)
+
+#: Extras keys holding per-task wall-clock profiles.
+TIMING_EXTRAS_KEYS = ("task_costs",)
+
+
+def _mp_context():
+    """Prefer ``fork`` so runtime-registered kernels reach the workers."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  _WORKER_STATE persists across pool tasks within one worker
+# process: the graph and the bounded MaterializationCache are loaded once
+# per (worker, dataset), however many dynamic-schedule cells land there.
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: Dict[str, Tuple[object, MaterializationCache]] = {}
+_WORKER_BACKENDS: Dict[Tuple[str, str], Type[SetBase]] = {}
+
+
+def _worker_dataset(plan, dataset: str):
+    state = _WORKER_STATE.get(dataset)
+    if state is None:
+        # The parent finishes one dataset completely before dispatching
+        # the next, so prior datasets' graphs and caches are dead weight
+        # here — drop them, or a multi-dataset plan would accumulate
+        # every graph in every worker regardless of the cache budget.
+        _WORKER_STATE.clear()
+        _WORKER_BACKENDS.clear()
+        graph = load_dataset(dataset)
+        cache = MaterializationCache(
+            budget_bytes=plan.cache_budget_bytes or None
+        )
+        state = (graph, cache)
+        _WORKER_STATE[dataset] = state
+    return state
+
+
+def _worker_backend(plan, dataset: str, backend_name: str, graph):
+    key = (dataset, backend_name)
+    cls = _WORKER_BACKENDS.get(key)
+    if cls is None:
+        cls = _suite.resolve_backend(plan, dataset, backend_name, graph)
+        _WORKER_BACKENDS[key] = cls
+    return cls
+
+
+def _run_shard(
+    plan, dataset: str, shard: Sequence[Tuple[int, Tuple[str, str, str]]]
+) -> Dict[str, object]:
+    """Pool task: run the indexed cell specs of one shard.
+
+    Returns the finished cells (keyed by their canonical index), the
+    worker's counter delta for the shard (kernel work *plus* the warm-up /
+    materialization overhead — what the shard really cost this process),
+    and the worker's cumulative cache stats keyed by PID so the parent can
+    aggregate pool-wide materialization work without double-counting.
+    """
+    graph, cache = _worker_dataset(plan, dataset)
+    before = _counters.snapshot()
+    cells: List[Tuple[int, Dict[str, object]]] = []
+    for index, (backend_name, kernel_name, ordering) in shard:
+        set_cls = _worker_backend(plan, dataset, backend_name, graph)
+        cell = _suite.run_cell(
+            graph, set_cls, _suite.SUITE_KERNELS[kernel_name],
+            backend_name, ordering, plan, cache,
+        )
+        cells.append((index, cell))
+    delta = before.delta(_counters.snapshot())
+    return {
+        "pid": multiprocessing.current_process().pid,
+        "cells": cells,
+        "counters": delta,
+        "cache_stats": cache.stats(),
+        # The parent never loads the dataset itself; the dims it needs
+        # for the artifact travel back with every shard.
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+def _shards(
+    specs: List[Tuple[str, str, str]], workers: int, schedule: str
+) -> List[List[Tuple[int, Tuple[str, str, str]]]]:
+    """Chunk the indexed cell list under the plan's scheduling policy."""
+    indexed = list(enumerate(specs))
+    if schedule == "static":
+        return [
+            indexed[start:end]
+            for start, end in static_chunks(len(indexed), workers)
+        ]
+    # dynamic: one pool task per cell; the executor queue does the rest.
+    return [[item] for item in indexed]
+
+
+def _merge_cache_stats(
+    per_pid: Dict[int, Dict[str, object]], budget_bytes: Optional[int],
+) -> Dict[str, object]:
+    """Sum the pool's per-process cache stats (latest report per PID)."""
+    merged = {
+        field: sum(stats[field] for stats in per_pid.values())
+        for field in ("hits", "misses", "insertions", "evictions",
+                      "orderings", "set_graphs", "oriented",
+                      "resident_bytes")
+    }
+    merged["budget_bytes"] = budget_bytes
+    merged["workers"] = len(per_pid)
+    return merged
+
+
+def run_suite_parallel(
+    plan, verbose: bool = False
+) -> List[Dict[str, object]]:
+    """Execute *plan* on a ``plan.workers``-process pool; one payload per
+    dataset, cell-for-cell identical to the sequential run up to timing.
+
+    The pool is created once and reused across datasets, so worker-side
+    graph/cache state amortizes over the whole plan.
+    """
+    plan.validate_execution()
+    payloads: List[Dict[str, object]] = []
+    ctx = _mp_context()
+    with ProcessPoolExecutor(max_workers=plan.workers, mp_context=ctx) as pool:
+        for dataset in plan.datasets:
+            specs = _suite.expand_cells(plan)
+            shards = _shards(specs, plan.workers, plan.schedule)
+            t0 = time.perf_counter()
+            futures = [
+                pool.submit(_run_shard, plan, dataset, shard)
+                for shard in shards
+            ]
+            cells: List[Optional[Dict[str, object]]] = [None] * len(specs)
+            worker_deltas: List[Snapshot] = []
+            cache_stats_by_pid: Dict[int, Dict[str, object]] = {}
+            num_nodes = num_edges = 0
+            for future in futures:
+                result = future.result()
+                num_nodes = result["num_nodes"]
+                num_edges = result["num_edges"]
+                worker_deltas.append(result["counters"])
+                cache_stats_by_pid[result["pid"]] = result["cache_stats"]
+                for index, cell in result["cells"]:
+                    cells[index] = cell
+                    if verbose:
+                        print(
+                            f"  {dataset} {cell['kernel']:<9} "
+                            f"{cell['ordering']:<4} "
+                            f"{cell['set_class']:<10} value={cell['value']} "
+                            f"({1000 * cell['seconds']:.1f} ms, "
+                            f"pid {result['pid']})"
+                        )
+            measured = time.perf_counter() - t0
+            # Fold the children's work into this process's global block so
+            # `snapshot()` around a parallel run still reports true totals.
+            _counters.COUNTERS.absorb(merge_snapshots(worker_deltas))
+            payloads.append(_suite.dataset_payload(
+                plan, dataset, num_nodes, num_edges, cells,
+                _merge_cache_stats(
+                    cache_stats_by_pid, plan.cache_budget_bytes or None
+                ),
+                measured, workers=plan.workers, schedule=plan.schedule,
+            ))
+    return payloads
+
+
+# ---------------------------------------------------------------------------
+# Determinism diffing: strip timing, compare everything else byte-for-byte.
+# ---------------------------------------------------------------------------
+
+
+def strip_timing(payload: Dict[str, object]) -> Dict[str, object]:
+    """The deterministic projection of a suite payload.
+
+    Keeps the dataset identity, the cross-check anchor, and every cell
+    field except wall-clock measurements (``seconds`` and the
+    ``task_costs`` extras).  Execution mode, timing, the plan's execution
+    knobs, and the materialization stats (which legitimately differ
+    between one shared cache and per-worker caches) are dropped — two
+    runs of the same sweep must agree on *this* projection exactly,
+    whatever the schedule.  gms-suite/v1 payloads (no ``extras``, no
+    ``counters`` block) project cleanly too, so suite-diff can diagnose a
+    v1-vs-v2 pair instead of crashing on it.
+    """
+    cells = []
+    for cell in payload["cells"]:
+        kept = {
+            k: v for k, v in cell.items() if k not in TIMING_CELL_KEYS
+        }
+        kept["extras"] = {
+            k: v for k, v in cell.get("extras", {}).items()
+            if k not in TIMING_EXTRAS_KEYS
+        }
+        cells.append(kept)
+    return {
+        "schema": payload["schema"],
+        "dataset": payload["dataset"],
+        "num_nodes": payload["num_nodes"],
+        "num_edges": payload["num_edges"],
+        "reference_backend": payload["reference_backend"],
+        "counters": payload.get("counters"),
+        "cells": cells,
+    }
+
+
+def diff_payloads(
+    a: Dict[str, object], b: Dict[str, object]
+) -> List[str]:
+    """Human-readable differences between two payloads' deterministic
+    projections; empty means byte-identical after timing stripping."""
+    sa, sb = strip_timing(a), strip_timing(b)
+    if json.dumps(sa, sort_keys=True) == json.dumps(sb, sort_keys=True):
+        return []
+    problems: List[str] = []
+    for key in ("schema", "dataset", "num_nodes", "num_edges",
+                "reference_backend", "counters"):
+        if sa[key] != sb[key]:
+            problems.append(f"{key}: {sa[key]!r} != {sb[key]!r}")
+    ca, cb = sa["cells"], sb["cells"]
+    if len(ca) != len(cb):
+        problems.append(f"cell count: {len(ca)} != {len(cb)}")
+    for i, (x, y) in enumerate(zip(ca, cb)):
+        if x != y:
+            diffs = [
+                f"{f}={x.get(f)!r} vs {y.get(f)!r}"
+                for f in sorted(set(x) | set(y)) if x.get(f) != y.get(f)
+            ]
+            problems.append(
+                f"cell {i} ({x.get('kernel')}/{x.get('ordering')}/"
+                f"{x.get('set_class')}): " + "; ".join(diffs)
+            )
+    return problems
+
+
+def diff_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro suite-diff A.json B.json``.
+
+    Exit 0 iff the two suite artifacts agree on every non-timing field —
+    the check CI runs between the sequential and ``--workers 2`` smoke
+    artifacts.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro suite-diff",
+        description="compare two suite artifacts up to timing fields",
+    )
+    parser.add_argument("artifact_a")
+    parser.add_argument("artifact_b")
+    ns = parser.parse_args(argv)
+    with open(ns.artifact_a) as handle:
+        a = json.load(handle)
+    with open(ns.artifact_b) as handle:
+        b = json.load(handle)
+    problems = diff_payloads(a, b)
+    if problems:
+        print(f"suite artifacts differ beyond timing "
+              f"({len(problems)} problem(s)):", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    exec_a = a.get("execution", {})
+    exec_b = b.get("execution", {})
+    print(
+        f"suite artifacts agree up to timing: {len(a['cells'])} cells, "
+        f"{exec_a.get('schedule', '?')}×{exec_a.get('workers', '?')} vs "
+        f"{exec_b.get('schedule', '?')}×{exec_b.get('workers', '?')}"
+    )
+    return 0

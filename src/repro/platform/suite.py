@@ -12,39 +12,66 @@ Building blocks
 ``SUITE_KERNELS``
     The kernel registry.  Each :class:`SuiteKernel` wraps one mining
     kernel behind the uniform signature ``runner(graph, set_cls,
-    ordering, plan, cache) -> int`` and declares whether the kernel
-    consumes the vertex ordering.  User kernels join the sweep via
-    :func:`register_suite_kernel` — exactly like set representations join
-    via :func:`repro.core.registry.register_set_class`.
+    ordering, plan, cache) -> int | (int, extras)`` and declares whether
+    the kernel consumes the vertex ordering.  User kernels join the sweep
+    via :func:`register_suite_kernel` — exactly like set representations
+    join via :func:`repro.core.registry.register_set_class`.
 
 ``ExperimentPlan``
     The declarative sweep description: datasets, kernels, orderings, set
-    backends, clique size, sketch budgets, repeats.  Budget flags carry
-    the same semantics as the shared CLI parser
-    (``--bloom-bits``/``--kmv-k``/``--bloom-shared-bits``/``--bloom-fpr``)
-    and are resolved per graph through
+    backends, clique size, sketch budgets, repeats — plus the execution
+    knobs ``workers`` (process-pool size), ``schedule``
+    (``static``/``dynamic`` cell chunking) and ``cache_budget_bytes``
+    (per-process :class:`~repro.graph.set_graph.MaterializationCache` LRU
+    budget).  Budget flags carry the same semantics as the shared CLI
+    parser and are resolved per graph through
     :meth:`repro.platform.cli.Args.resolve_set_class_for_graph`.
 
 ``run_suite``
-    Executes the plan.  Per dataset it owns one
-    :class:`~repro.graph.set_graph.MaterializationCache`, so each
-    (graph, backend, ordering) is converted exactly once no matter how
-    many kernels and repeats consume it; per cell it meters wall time and
-    the set-algebra software counters
-    (:mod:`repro.core.counters`).  Exact backends are cross-checked
-    against the reference backend — any disagreement fails the run.
+    Executes the plan.  ``plan.workers <= 1`` runs cells sequentially
+    in-process; ``plan.workers > 1`` delegates to the sharded
+    process-pool runner (:mod:`repro.platform.runner`), which produces a
+    cell-by-cell identical artifact up to timing.  Per dataset (and, in
+    parallel mode, per worker process) one
+    :class:`~repro.graph.set_graph.MaterializationCache` serves all local
+    cells; per cell the suite meters wall time and the set-algebra
+    software counters (:mod:`repro.core.counters`).  Exact backends are
+    cross-checked against the reference backend — any disagreement fails
+    the run.
 
-Artifact schema (``results/suite_<dataset>.json``)
---------------------------------------------------
+Artifact schema (``results/suite_<dataset>.json``, ``gms-suite/v2``)
+--------------------------------------------------------------------
 One JSON object per dataset::
 
     {
-      "schema": "gms-suite/v1",
+      "schema": "gms-suite/v2",
       "dataset": str,          # registry name
       "num_nodes": int, "num_edges": int,
-      "plan": {...},           # the ExperimentPlan, as parsed
+      "plan": {...},           # the ExperimentPlan, as parsed (includes
+                               # workers / schedule / cache_budget_bytes)
       "reference_backend": "sorted",
-      "materialization": {hits, misses, orderings, set_graphs, oriented},
+      "materialization": {hits, misses, evictions, orderings, set_graphs,
+                          oriented, resident_bytes, budget_bytes},
+                               # parallel runs: summed over the pool's
+                               # per-process caches, plus "workers"
+      "counters": {set_ops, point_ops, sketch_builds, memory_traffic},
+                               # merge of the per-cell deltas — shard-
+                               # order independent, so sequential and
+                               # parallel runs agree exactly
+      "execution": {           # measured vs modeled parallel runtime
+        "workers": int,        # pool size (1 = sequential)
+        "schedule": str,       # "sequential" | "static" | "dynamic"
+        "measured_seconds": float,   # wall clock of the cell loop / pool
+        "cells_seconds_total": float,# sum of warm per-cell kernel times
+        "measured_speedup": float,   # cells_seconds_total / measured
+        "modeled": {           # runtime/scheduler.py makespan model at
+                               # this worker count, one entry per policy
+          "static"|"dynamic"|"stealing": {
+            "makespan_seconds": float,
+            "speedup": float,  # cells_seconds_total / makespan
+          }, ...
+        },
+      },
       "cells": [
         {
           "kernel": str,       # SUITE_KERNELS name
@@ -53,26 +80,37 @@ One JSON object per dataset::
           "resolved_class": str,  # budget-resolved class actually run
           "exact": bool,       # cls.IS_EXACT
           "value": int,        # kernel output (count)
-          "reference": int,    # reference-backend value, same cell
-          "rel_error": float,  # |value - reference| / max(reference, 1)
           "seconds": float,    # best-of-repeats *warm* kernel wall time
                                # (an untimed warm-up pass populates the
-                               # shared cache first; materialization cost
-                               # shows up in "materialization", not here)
+                               # per-process cache first; materialization
+                               # cost shows up in "materialization" and
+                               # the execution block, not here)
           "set_ops": int, "point_ops": int,     # software counters
           "memory_traffic": int, "sketch_builds": int,
+          "extras": {...},     # per-kernel work profile:
+                               #   bk        -> recursive_calls, task_costs
+                               #   kclique/4clique -> task_costs
+                               #   others    -> {}
+                               # task_costs are timings; everything else
+                               # in a cell except "seconds" is
+                               # deterministic and shard-independent
+          "reference": int,    # reference-backend value, same cell
+          "rel_error": float,  # |value - reference| / max(reference, 1)
         }, ...
       ]
     }
 
 ``python -m repro aggregate`` consumes these artifacts (together with the
-budget-sweep ones) and folds them into cross-dataset per-backend
-speed-vs-accuracy summaries.
+budget-sweep ones), folds the ``extras`` work profiles into per-kernel
+work-distribution summaries, and tabulates measured-vs-modeled speedups
+from the ``execution`` blocks.
 
-Run ``python -m repro suite --smoke`` for the tiny CI matrix, or
-``python -m repro suite --datasets sc-ht-mini citations-mini --set-classes
-sorted bitset bloom kmv`` for a custom sweep; see
-``examples/suite_run.py`` for the library-level API.
+Run ``python -m repro suite --smoke`` for the tiny CI matrix,
+``python -m repro suite --smoke --workers 2`` for the same matrix through
+the process pool (``python -m repro suite-diff`` checks the two artifacts
+agree up to timing), or ``python -m repro suite --datasets sc-ht-mini
+citations-mini --set-classes sorted bitset bloom kmv`` for a custom
+sweep; see ``examples/suite_run.py`` for the library-level API.
 """
 
 from __future__ import annotations
@@ -80,7 +118,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 from ..core import counters as _counters
@@ -98,8 +136,9 @@ from ..mining.triangles import (
     triangle_count_rank_merge,
 )
 from ..preprocess.ordering import ORDERINGS
+from ..runtime.scheduler import SCHEDULER_POLICIES, simulate_makespan
 from .bench import print_table, write_artifact
-from .cli import Args, add_sketch_budget_args
+from .cli import RUNNER_SCHEDULES, Args, add_parallel_args, add_sketch_budget_args
 
 __all__ = [
     "SCHEMA",
@@ -107,12 +146,19 @@ __all__ = [
     "SUITE_KERNELS",
     "register_suite_kernel",
     "ExperimentPlan",
+    "expand_cells",
+    "run_cell",
+    "finalize_cells",
+    "resolve_backend",
+    "dataset_payload",
     "run_suite",
     "main",
 ]
 
 #: Artifact schema identifier, bumped on breaking layout changes.
-SCHEMA = "gms-suite/v1"
+#: v2 (over v1): per-cell ``extras`` work profiles, payload-level merged
+#: ``counters``, and the ``execution`` measured-vs-modeled block.
+SCHEMA = "gms-suite/v2"
 
 #: Reference backend for cross-checking and relative error (registry name).
 REFERENCE_BACKEND = "sorted"
@@ -123,16 +169,18 @@ class SuiteKernel:
     """One kernel of the suite sweep.
 
     ``runner(graph, set_cls, ordering, plan, cache)`` returns the kernel's
-    count under the given set representation.  ``uses_ordering=False``
-    kernels are run once per backend with the ordering column recorded as
-    ``"-"`` (re-running them per ordering would duplicate identical
-    cells).
+    count under the given set representation — either a bare ``int`` or an
+    ``(int, extras)`` pair, where ``extras`` is a JSON-ready work profile
+    (e.g. BK's ``recursive_calls``, kClist's per-task ``task_costs``)
+    folded into the cell schema.  ``uses_ordering=False`` kernels are run
+    once per backend with the ordering column recorded as ``"-"``
+    (re-running them per ordering would duplicate identical cells).
     """
 
     name: str
     runner: Callable[
         [CSRGraph, Type[SetBase], str, "ExperimentPlan", MaterializationCache],
-        int,
+        object,
     ]
     description: str
     uses_ordering: bool = True
@@ -147,13 +195,15 @@ def _run_tc_merge(graph, set_cls, ordering, plan, cache):
 
 
 def _run_4clique(graph, set_cls, ordering, plan, cache):
-    return kclique_count(graph, 4, ordering, "edge", eps=plan.eps,
-                         set_cls=set_cls, cache=cache).count
+    res = kclique_count(graph, 4, ordering, "edge", eps=plan.eps,
+                        set_cls=set_cls, cache=cache)
+    return res.count, {"task_costs": list(res.task_costs)}
 
 
 def _run_kclique(graph, set_cls, ordering, plan, cache):
-    return kclique_count(graph, plan.k, ordering, "node", eps=plan.eps,
-                         set_cls=set_cls, cache=cache).count
+    res = kclique_count(graph, plan.k, ordering, "node", eps=plan.eps,
+                        set_cls=set_cls, cache=cache)
+    return res.count, {"task_costs": list(res.task_costs)}
 
 
 def _run_kstar(graph, set_cls, ordering, plan, cache):
@@ -165,12 +215,19 @@ def _run_bk(graph, set_cls, ordering, plan, cache):
     # (sketch-pivot BK): P/X stay exact, the estimated counts only feed
     # the pivot argmax, and the enumerated clique set is provably
     # identical — so every backend, exact or sketched, lands on the same
-    # maximal-clique count here.
+    # maximal-clique count here.  recursive_calls *does* depend on the
+    # pivot choices, but the sketches are deterministic functions of the
+    # set contents, so it is still reproducible run-to-run.
     if set_cls.IS_EXACT:
-        return bron_kerbosch(graph, ordering, set_cls, eps=plan.eps,
-                             cache=cache).num_cliques
-    return bron_kerbosch(graph, ordering, BitSet, eps=plan.eps,
-                         pivot_set_cls=set_cls, cache=cache).num_cliques
+        res = bron_kerbosch(graph, ordering, set_cls, eps=plan.eps,
+                            cache=cache)
+    else:
+        res = bron_kerbosch(graph, ordering, BitSet, eps=plan.eps,
+                            pivot_set_cls=set_cls, cache=cache)
+    return res.num_cliques, {
+        "recursive_calls": res.recursive_calls,
+        "task_costs": list(res.task_costs),
+    }
 
 
 #: The registered suite kernels, in registration order.
@@ -179,7 +236,7 @@ SUITE_KERNELS: Dict[str, SuiteKernel] = {}
 
 def register_suite_kernel(
     name: str,
-    runner: Callable[..., int],
+    runner: Callable[..., object],
     description: str,
     uses_ordering: bool = True,
 ) -> None:
@@ -222,7 +279,10 @@ class ExperimentPlan:
 
     Empty ``kernels``/``set_classes``/``orderings`` mean *everything
     registered* at run time, so plans stay valid as kernels and backends
-    are added.  See the module docstring for the emitted artifact schema.
+    are added.  ``workers``/``schedule``/``cache_budget_bytes`` select the
+    execution mode without changing the sweep (the cell payloads are
+    identical up to timing).  See the module docstring for the emitted
+    artifact schema.
     """
 
     datasets: Tuple[str, ...] = ("sc-ht-mini",)
@@ -236,6 +296,9 @@ class ExperimentPlan:
     kmv_k: int = 0
     bloom_shared_bits: int = 0
     bloom_fpr: float = 0.0
+    workers: int = 1
+    schedule: str = "dynamic"
+    cache_budget_bytes: int = 0
 
     def resolved_kernels(self) -> List[SuiteKernel]:
         names = self.kernels or tuple(SUITE_KERNELS)
@@ -262,6 +325,15 @@ class ExperimentPlan:
             )
         return list(names)
 
+    def validate_execution(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.schedule not in RUNNER_SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; "
+                f"known: {RUNNER_SCHEDULES}"
+            )
+
     @classmethod
     def smoke(cls) -> "ExperimentPlan":
         """The tiny CI matrix: 2 backends × 2 orderings × 3 kernels."""
@@ -278,98 +350,229 @@ def _cell_orderings(kernel: SuiteKernel, orderings: Sequence[str]) -> List[str]:
     return list(orderings) if kernel.uses_ordering else ["-"]
 
 
+# ---------------------------------------------------------------------------
+# Cell-level building blocks — shared verbatim by the sequential loop below
+# and the process-pool runner (repro.platform.runner), which is what makes
+# the parallel artifact cell-by-cell identical up to timing.
+# ---------------------------------------------------------------------------
+
+
+def expand_cells(plan: ExperimentPlan) -> List[Tuple[str, str, str]]:
+    """The plan's cell list, in canonical (sequential) execution order.
+
+    Each spec is ``(backend_name, kernel_name, ordering)``.  The parallel
+    runner shards *this* list and re-assembles results by index, so the
+    artifact's cell order never depends on the schedule.
+    """
+    kernels = plan.resolved_kernels()
+    orderings = plan.resolved_orderings()
+    return [
+        (backend_name, kernel.name, ordering)
+        for backend_name in plan.resolved_set_classes()
+        for kernel in kernels
+        for ordering in _cell_orderings(kernel, orderings)
+    ]
+
+
+def resolve_backend(
+    plan: ExperimentPlan, dataset: str, backend_name: str, graph: CSRGraph
+) -> Type[SetBase]:
+    """Resolve one backend name under the plan's sketch budgets."""
+    args = Args(
+        dataset=dataset, set_class=backend_name, eps=plan.eps,
+        k=plan.k, repeats=plan.repeats,
+        bloom_bits=plan.bloom_bits, kmv_k=plan.kmv_k,
+        bloom_shared_bits=plan.bloom_shared_bits,
+        bloom_fpr=plan.bloom_fpr,
+    )
+    return args.resolve_set_class_for_graph(graph)
+
+
+def _normalize_result(raw: object) -> Tuple[int, Dict[str, object]]:
+    """Accept both runner shapes: bare count, or (count, extras)."""
+    if isinstance(raw, tuple):
+        value, extras = raw
+        return value, dict(extras)
+    return raw, {}
+
+
+def run_cell(
+    graph: CSRGraph,
+    set_cls: Type[SetBase],
+    kernel: SuiteKernel,
+    backend_name: str,
+    ordering: str,
+    plan: ExperimentPlan,
+    cache: MaterializationCache,
+) -> Dict[str, object]:
+    """Execute one cell: warm-up, then metered best-of-``plan.repeats``.
+
+    The warm-up pass (untimed) populates the local cache so the measured
+    runs meter the *kernel*, not whichever cell happened to pay the
+    one-time materialization — without it, the reference backend (which
+    runs first) would absorb the ordering cost and every later backend's
+    speedup would be inflated.  ``reference``/``rel_error`` are filled in
+    later by :func:`finalize_cells`, once the reference cells are known.
+    """
+    kernel.runner(graph, set_cls, ordering, plan, cache)
+    best = float("inf")
+    value = None
+    extras: Dict[str, object] = {}
+    delta = None
+    for _ in range(max(1, plan.repeats)):
+        before = _counters.snapshot()
+        t0 = time.perf_counter()
+        raw = kernel.runner(graph, set_cls, ordering, plan, cache)
+        elapsed = time.perf_counter() - t0
+        delta = before.delta(_counters.snapshot())
+        value, extras = _normalize_result(raw)
+        best = min(best, elapsed)
+    return {
+        "kernel": kernel.name,
+        "ordering": ordering,
+        "set_class": backend_name,
+        "resolved_class": set_cls.__name__,
+        "exact": bool(set_cls.IS_EXACT),
+        "value": value,
+        "seconds": best,
+        "set_ops": delta.set_ops,
+        "point_ops": delta.point_ops,
+        "memory_traffic": delta.memory_traffic,
+        "sketch_builds": delta.sketch_builds,
+        "extras": extras,
+    }
+
+
+def finalize_cells(cells: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Fill ``reference``/``rel_error`` from the reference-backend cells.
+
+    Runs in the parent after all shards merge, so the cross-check logic is
+    one piece of code regardless of which worker computed which cell.
+    """
+    reference: Dict[Tuple[str, str], int] = {
+        (c["kernel"], c["ordering"]): c["value"]
+        for c in cells if c["set_class"] == REFERENCE_BACKEND
+    }
+    for cell in cells:
+        ref = reference.get((cell["kernel"], cell["ordering"]), cell["value"])
+        cell["reference"] = ref
+        cell["rel_error"] = abs(cell["value"] - ref) / max(ref, 1)
+    return cells
+
+
+def _merged_cell_counters(
+    cells: Sequence[Dict[str, object]]
+) -> Dict[str, int]:
+    """Merge the per-cell deltas — shard-order independent by construction
+    (integer addition per field, the same property
+    :func:`repro.core.counters.merge_snapshots` relies on)."""
+    return {
+        field: sum(c[field] for c in cells)
+        for field in ("set_ops", "point_ops", "sketch_builds",
+                      "memory_traffic")
+    }
+
+
+def dataset_payload(
+    plan: ExperimentPlan,
+    dataset: str,
+    num_nodes: int,
+    num_edges: int,
+    cells: List[Dict[str, object]],
+    materialization: Dict[str, object],
+    measured_seconds: float,
+    workers: int,
+    schedule: str,
+) -> Dict[str, object]:
+    """Assemble one dataset's artifact payload (shared by both runners).
+
+    Takes the graph *dimensions* rather than the graph: the parallel
+    runner never loads the dataset in the parent (the workers already
+    did), so these two ints travel back with the shard results instead.
+    """
+    finalize_cells(cells)
+    cell_seconds = [c["seconds"] for c in cells]
+    total = sum(cell_seconds)
+    modeled = {}
+    for policy in SCHEDULER_POLICIES:
+        makespan = simulate_makespan(cell_seconds, workers, policy)
+        modeled[policy] = {
+            "makespan_seconds": makespan,
+            "speedup": total / makespan if makespan > 0 else 0.0,
+        }
+    return {
+        "schema": SCHEMA,
+        "dataset": dataset,
+        "num_nodes": num_nodes,
+        "num_edges": num_edges,
+        "plan": asdict(plan),
+        "reference_backend": REFERENCE_BACKEND,
+        "materialization": materialization,
+        "counters": _merged_cell_counters(cells),
+        "execution": {
+            "workers": workers,
+            "schedule": schedule,
+            "measured_seconds": measured_seconds,
+            "cells_seconds_total": total,
+            "measured_speedup": (
+                total / measured_seconds if measured_seconds > 0 else 0.0
+            ),
+            "modeled": modeled,
+        },
+        "cells": cells,
+    }
+
+
 def run_suite(
     plan: ExperimentPlan, verbose: bool = False
 ) -> List[Dict[str, object]]:
     """Execute *plan*; return one artifact payload per dataset.
 
-    Every cell runs one untimed warm-up pass and is then timed
-    best-of-``plan.repeats`` and metered with the set-algebra software
-    counters — so cells measure the kernel itself, on comparable (warm)
-    footing, rather than whichever cell happened to trigger a one-time
-    materialization.  Per dataset, one shared
-    :class:`~repro.graph.set_graph.MaterializationCache` serves all cells,
-    so each (backend, ordering) materialization happens exactly once; the
-    cache hit/miss stats land in the artifact.
+    ``plan.workers > 1`` delegates to the sharded process-pool runner
+    (:func:`repro.platform.runner.run_suite_parallel`); its artifact is
+    cell-by-cell identical to the sequential one up to timing fields.
+    Sequentially, one shared per-dataset
+    :class:`~repro.graph.set_graph.MaterializationCache` (bounded by
+    ``plan.cache_budget_bytes`` when nonzero) serves all cells, so each
+    (backend, ordering) materialization happens exactly once; the cache
+    hit/miss/eviction stats land in the artifact.
     """
-    payloads: List[Dict[str, object]] = []
-    kernels = plan.resolved_kernels()
-    backend_names = plan.resolved_set_classes()
-    orderings = plan.resolved_orderings()
+    plan.validate_execution()
+    if plan.workers > 1:
+        from .runner import run_suite_parallel
 
+        return run_suite_parallel(plan, verbose=verbose)
+
+    payloads: List[Dict[str, object]] = []
     for dataset in plan.datasets:
         graph = load_dataset(dataset)
-        cache = MaterializationCache()
-        reference: Dict[Tuple[str, str], int] = {}
+        cache = MaterializationCache(
+            budget_bytes=plan.cache_budget_bytes or None
+        )
+        resolved: Dict[str, Type[SetBase]] = {}
         cells: List[Dict[str, object]] = []
-
-        for backend_name in backend_names:
-            args = Args(
-                dataset=dataset, set_class=backend_name,
-                ordering=orderings[0] if orderings else "DGR", eps=plan.eps,
-                k=plan.k, repeats=plan.repeats,
-                bloom_bits=plan.bloom_bits, kmv_k=plan.kmv_k,
-                bloom_shared_bits=plan.bloom_shared_bits,
-                bloom_fpr=plan.bloom_fpr,
+        t0 = time.perf_counter()
+        for backend_name, kernel_name, ordering in expand_cells(plan):
+            if backend_name not in resolved:
+                resolved[backend_name] = resolve_backend(
+                    plan, dataset, backend_name, graph
+                )
+            cell = run_cell(
+                graph, resolved[backend_name], SUITE_KERNELS[kernel_name],
+                backend_name, ordering, plan, cache,
             )
-            set_cls = args.resolve_set_class_for_graph(graph)
-            for kernel in kernels:
-                for ordering in _cell_orderings(kernel, orderings):
-                    # Warm-up pass (untimed): populates the shared cache so
-                    # every cell's measured runs meter the *kernel*, not
-                    # whichever cell happened to pay the one-time
-                    # materialization — without it, the reference backend
-                    # (which runs first) would absorb the ordering cost
-                    # and every later backend's speedup would be inflated.
-                    kernel.runner(graph, set_cls, ordering, plan, cache)
-                    best = float("inf")
-                    value = None
-                    delta = None
-                    for _ in range(max(1, plan.repeats)):
-                        before = _counters.snapshot()
-                        t0 = time.perf_counter()
-                        value = kernel.runner(
-                            graph, set_cls, ordering, plan, cache
-                        )
-                        elapsed = time.perf_counter() - t0
-                        delta = before.delta(_counters.snapshot())
-                        best = min(best, elapsed)
-                    key = (kernel.name, ordering)
-                    if backend_name == REFERENCE_BACKEND:
-                        reference[key] = value
-                    ref = reference.get(key, value)
-                    cells.append({
-                        "kernel": kernel.name,
-                        "ordering": ordering,
-                        "set_class": backend_name,
-                        "resolved_class": set_cls.__name__,
-                        "exact": bool(set_cls.IS_EXACT),
-                        "value": value,
-                        "reference": ref,
-                        "rel_error": abs(value - ref) / max(ref, 1),
-                        "seconds": best,
-                        "set_ops": delta.set_ops,
-                        "point_ops": delta.point_ops,
-                        "memory_traffic": delta.memory_traffic,
-                        "sketch_builds": delta.sketch_builds,
-                    })
-                    if verbose:
-                        print(
-                            f"  {dataset} {kernel.name:<9} {ordering:<4} "
-                            f"{backend_name:<10} value={value} "
-                            f"({1000 * best:.1f} ms)"
-                        )
-
-        payloads.append({
-            "schema": SCHEMA,
-            "dataset": dataset,
-            "num_nodes": graph.num_nodes,
-            "num_edges": graph.num_edges,
-            "plan": asdict(plan),
-            "reference_backend": REFERENCE_BACKEND,
-            "materialization": cache.stats(),
-            "cells": cells,
-        })
+            cells.append(cell)
+            if verbose:
+                print(
+                    f"  {dataset} {cell['kernel']:<9} {cell['ordering']:<4} "
+                    f"{backend_name:<10} value={cell['value']} "
+                    f"({1000 * cell['seconds']:.1f} ms)"
+                )
+        measured = time.perf_counter() - t0
+        payloads.append(dataset_payload(
+            plan, dataset, graph.num_nodes, graph.num_edges, cells,
+            cache.stats(), measured, workers=1, schedule="sequential",
+        ))
     return payloads
 
 
@@ -388,14 +591,25 @@ def _print_payload(payload: Dict[str, object]) -> None:
         for c in payload["cells"]
     ]
     mat = payload["materialization"]
+    execution = payload["execution"]
     print_table(
         f"Experiment suite — {payload['dataset']} "
         f"(n={payload['num_nodes']:,}, m={payload['num_edges']:,}; "
-        f"materializations {mat['misses']}, cache hits {mat['hits']})",
+        f"materializations {mat['misses']}, cache hits {mat['hits']}; "
+        f"{execution['schedule']} × {execution['workers']} worker(s))",
         ["kernel", "order", "backend", "exact", "value", "rel err",
          "time", "set ops"],
         rows,
     )
+    if execution["workers"] > 1:
+        modeled = execution["modeled"][execution["schedule"]]
+        print(
+            f"parallel: measured {1000 * execution['measured_seconds']:.1f} ms"
+            f" wall ({execution['measured_speedup']:.2f}x over the summed"
+            f" cell times); scheduler model predicts "
+            f"{1000 * modeled['makespan_seconds']:.1f} ms "
+            f"({modeled['speedup']:.2f}x)"
+        )
 
 
 def _exact_mismatches(payload: Dict[str, object]) -> List[Dict[str, object]]:
@@ -429,10 +643,13 @@ def build_suite_parser() -> argparse.ArgumentParser:
     parser.add_argument("--repeats", type=int, default=1,
                         help="timing repeats per cell (best-of)")
     add_sketch_budget_args(parser)
+    add_parallel_args(parser)
     parser.add_argument("--smoke", action="store_true",
                         help="run the tiny CI matrix "
                              "(2 backends × 2 orderings × 3 kernels) and "
-                             "ignore the sweep-selection flags")
+                             "ignore the sweep-selection flags (the "
+                             "execution flags --workers/--schedule/"
+                             "--cache-budget-bytes still apply)")
     parser.add_argument("--verbose", action="store_true")
     return parser
 
@@ -444,7 +661,13 @@ def plan_from_argv(argv: Optional[List[str]] = None) -> ExperimentPlan:
 
 def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
     if ns.smoke:
-        return ExperimentPlan.smoke()
+        # The smoke matrix is fixed; the execution knobs still apply so CI
+        # can run the very same matrix through the process pool.
+        return replace(
+            ExperimentPlan.smoke(),
+            workers=ns.workers, schedule=ns.schedule,
+            cache_budget_bytes=ns.cache_budget_bytes,
+        )
     return ExperimentPlan(
         datasets=tuple(ns.datasets),
         kernels=tuple(ns.kernels),
@@ -457,6 +680,9 @@ def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
         kmv_k=ns.kmv_k,
         bloom_shared_bits=ns.bloom_shared_bits,
         bloom_fpr=ns.bloom_fpr,
+        workers=ns.workers,
+        schedule=ns.schedule,
+        cache_budget_bytes=ns.cache_budget_bytes,
     )
 
 

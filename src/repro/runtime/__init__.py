@@ -9,13 +9,19 @@ from .metrics import (
     peak_memory_bytes,
 )
 from .papi import PAPI_L3_TCM, PAPI_MEM_SCY, PAPI_RES_STL, PAPIW, StallModel
-from .scheduler import SCHEDULER_POLICIES, simulate_makespan, speedup_curve
+from .scheduler import (
+    SCHEDULER_POLICIES,
+    simulate_makespan,
+    speedup_curve,
+    static_chunks,
+)
 from .workdepth import WorkDepthReport, WorkDepthTracker
 
 __all__ = [
     "WorkDepthTracker",
     "WorkDepthReport",
     "simulate_makespan",
+    "static_chunks",
     "speedup_curve",
     "SCHEDULER_POLICIES",
     "PAPIW",

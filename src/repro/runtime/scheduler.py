@@ -21,9 +21,14 @@ The simulation is deterministic given the task list.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
-__all__ = ["simulate_makespan", "speedup_curve", "SCHEDULER_POLICIES"]
+__all__ = [
+    "simulate_makespan",
+    "speedup_curve",
+    "static_chunks",
+    "SCHEDULER_POLICIES",
+]
 
 SCHEDULER_POLICIES = ("static", "dynamic", "stealing")
 
@@ -52,12 +57,29 @@ def simulate_makespan(
     raise ValueError(f"unknown policy {policy!r}; known: {SCHEDULER_POLICIES}")
 
 
+def static_chunks(num_tasks: int, threads: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, end)`` slices of the static policy.
+
+    This is the *actual* chunking rule, shared by the makespan model below
+    and the real process-pool suite runner
+    (:mod:`repro.platform.runner`) — so the measured static schedule and
+    the simulated one partition the task list identically.  Empty trailing
+    chunks (more threads than tasks) are omitted.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    # max() only guards num_tasks == 0 (range's step must be nonzero).
+    chunk = max(1, (num_tasks + threads - 1) // threads)
+    return [
+        (start, min(start + chunk, num_tasks))
+        for start in range(0, num_tasks, chunk)
+    ]
+
+
 def _static_makespan(costs: List[float], threads: int) -> float:
-    chunk = (len(costs) + threads - 1) // threads
     finish = 0.0
-    for w in range(threads):
-        load = sum(costs[w * chunk : (w + 1) * chunk])
-        finish = max(finish, load)
+    for start, end in static_chunks(len(costs), threads):
+        finish = max(finish, sum(costs[start:end]))
     return finish
 
 

@@ -221,8 +221,10 @@ class TestMaterializationCache:
         cache.oriented(csr, BitSet, "DGR")
         cache.clear()
         stats = cache.stats()
-        assert stats == {"hits": 0, "misses": 0, "orderings": 0,
-                         "set_graphs": 0, "oriented": 0}
+        assert stats == {"hits": 0, "misses": 0, "insertions": 0,
+                         "evictions": 0, "orderings": 0, "set_graphs": 0,
+                         "oriented": 0, "resident_bytes": 0,
+                         "budget_bytes": None}
 
 
 class TestIncrementalPivotSketch:

@@ -1,0 +1,194 @@
+"""Property tests for the bounded (LRU) MaterializationCache.
+
+The budget contract (hypothesis-driven): under any request sequence over
+any mix of graphs, backends, and orderings,
+
+* total resident bytes never exceed ``budget_bytes``;
+* eviction is least-recently-used (a hit refreshes recency);
+* the hit/miss/eviction counters stay mutually consistent;
+* a re-request after eviction transparently rebuilds an *equivalent*
+  ``SetGraph`` — and ``SetGraph`` objects handed out before the eviction
+  stay fully usable.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bit_set import BitSet
+from repro.core.roaring import RoaringSet
+from repro.core.sorted_set import SortedSet
+from repro.graph import build_undirected
+from repro.graph.set_graph import MaterializationCache, build_set_graph
+
+BACKENDS = (SortedSet, BitSet, RoaringSet)
+ORDER_NAMES = ("DEG", "DGR")
+
+
+def _graphs():
+    """A few distinct small graphs (distinct sizes → distinct footprints)."""
+    out = []
+    for n, m, seed in [(12, 20, 1), (20, 50, 2), (30, 90, 3)]:
+        G = nx.gnm_random_graph(n, m, seed=seed)
+        out.append(build_undirected(n, list(G.edges())))
+    return out
+
+
+GRAPHS = _graphs()
+
+#: One cache request: (kind, graph index, backend index, ordering index).
+REQUESTS = st.lists(
+    st.tuples(
+        st.sampled_from(["set_graph", "oriented"]),
+        st.integers(0, len(GRAPHS) - 1),
+        st.integers(0, len(BACKENDS) - 1),
+        st.integers(0, len(ORDER_NAMES) - 1),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+BUDGETS = st.sampled_from([0, 500, 2_000, 10_000, 100_000])
+
+
+def _request(cache, kind, gi, bi, oi):
+    graph = GRAPHS[gi]
+    if kind == "set_graph":
+        return cache.set_graph(graph, BACKENDS[bi])
+    _, dag = cache.oriented(graph, BACKENDS[bi], ORDER_NAMES[oi])
+    return dag
+
+
+def _resident_bytes(cache):
+    return sum(sg.storage_bytes() for sg in cache._graphs.values())
+
+
+@given(requests=REQUESTS, budget=BUDGETS)
+@settings(max_examples=40, deadline=None)
+def test_budget_never_exceeded_and_accounting_exact(requests, budget):
+    cache = MaterializationCache(budget_bytes=budget)
+    for req in requests:
+        _request(cache, *req)
+        # The invariant that makes the cache safe for a long-lived
+        # service: the resident payload always fits the budget...
+        assert cache.resident_bytes <= budget
+        # ...and the byte accounting matches what is actually resident.
+        assert cache.resident_bytes == _resident_bytes(cache)
+        assert cache._sizes.keys() == cache._graphs.keys()
+
+
+@given(requests=REQUESTS, budget=BUDGETS)
+@settings(max_examples=40, deadline=None)
+def test_counters_stay_consistent(requests, budget):
+    cache = MaterializationCache(budget_bytes=budget)
+    graph_requests = 0
+    for req in requests:
+        _request(cache, *req)
+        graph_requests += 1
+    stats = cache.stats()
+    # Every SetGraph request is a hit or a miss; `oriented` additionally
+    # looks up the memoized ordering, adding its own hits/misses on top.
+    ordering_requests = sum(1 for r in requests if r[0] == "oriented")
+    assert stats["hits"] + stats["misses"] == (
+        graph_requests + ordering_requests
+    )
+    # Entries still resident = insertions - evictions, exactly.
+    assert stats["set_graphs"] + stats["oriented"] == (
+        stats["insertions"] - stats["evictions"]
+    )
+    assert stats["evictions"] <= stats["insertions"]
+    assert stats["insertions"] <= stats["misses"]
+    assert stats["budget_bytes"] == budget
+
+
+@given(requests=REQUESTS, budget=st.sampled_from([0, 500, 2_000]))
+@settings(max_examples=30, deadline=None)
+def test_evicted_graphs_release_orderings_and_pins(requests, budget):
+    # The long-lived-service guarantee: once a graph's last SetGraph
+    # entry is evicted, the cache must not keep pinning the source
+    # CSRGraph (or its memoized orderings) — a bounded cache over a
+    # stream of graphs holds no hidden per-graph state.
+    cache = MaterializationCache(budget_bytes=budget)
+    for req in requests:
+        _request(cache, *req)
+        resident_gids = {key[1] for key in cache._graphs}
+        assert set(cache._pinned) <= resident_gids
+        assert {key[0] for key in cache._orderings} <= resident_gids
+
+
+@given(requests=REQUESTS)
+@settings(max_examples=40, deadline=None)
+def test_unbounded_cache_never_evicts(requests):
+    cache = MaterializationCache()
+    handed_out = [_request(cache, *req) for req in requests]
+    assert cache.evictions == 0
+    # Identity caching: the same request returns the same object.
+    again = [_request(cache, *req) for req in requests]
+    assert all(a is b for a, b in zip(handed_out, again))
+
+
+def test_eviction_order_is_lru():
+    graph = GRAPHS[0]
+    size_a = build_set_graph(graph, SortedSet).storage_bytes()
+    size_b = build_set_graph(graph, BitSet).storage_bytes()
+    size_c = build_set_graph(graph, RoaringSet).storage_bytes()
+    # Budget holds any two of the three entries, but not all three.
+    cache = MaterializationCache(budget_bytes=size_a + size_b + size_c - 1)
+
+    a = cache.set_graph(graph, SortedSet)
+    b = cache.set_graph(graph, BitSet)
+    # Touch `a`: recency is now [b (oldest), a] — a *hit* must refresh.
+    assert cache.set_graph(graph, SortedSet) is a
+    # Inserting `c` forces exactly one eviction, and the victim must be
+    # the least recently used entry `b`, not the refreshed `a`.
+    cache.set_graph(graph, RoaringSet)
+    assert cache.evictions == 1
+    assert cache.set_graph(graph, SortedSet) is a  # survived (hit)
+    misses_before = cache.misses
+    assert cache.set_graph(graph, BitSet) is not b  # evicted → rebuilt
+    assert cache.misses == misses_before + 1
+
+
+@given(budget=st.sampled_from([0, 100, 1_000]))
+@settings(max_examples=10, deadline=None)
+def test_rerequest_after_eviction_rebuilds_equivalent_graph(budget):
+    graph = GRAPHS[1]
+    cache = MaterializationCache(budget_bytes=budget)
+    first = cache.set_graph(graph, SortedSet)
+    # Thrash the cache so `first` is (for small budgets) evicted.
+    for cls in (BitSet, RoaringSet):
+        cache.set_graph(graph, cls)
+        cache.oriented(graph, cls, "DEG")
+    rebuilt = cache.set_graph(graph, SortedSet)
+    # Equivalent content whether or not the entry survived...
+    assert rebuilt.num_nodes == first.num_nodes
+    for v in range(first.num_nodes):
+        assert sorted(rebuilt.out_neigh(v).to_array().tolist()) == (
+            sorted(first.out_neigh(v).to_array().tolist())
+        )
+    # ...and the evicted handout itself stayed fully valid (shared
+    # read-only contract: the cache dropping its reference must never
+    # invalidate sets a kernel is still holding).
+    assert first.num_edges == rebuilt.num_edges
+
+
+def test_single_oversized_entry_is_handed_out_but_not_retained():
+    graph = GRAPHS[2]
+    size = build_set_graph(graph, SortedSet).storage_bytes()
+    cache = MaterializationCache(budget_bytes=size - 1)
+    sg = cache.set_graph(graph, SortedSet)
+    assert sg.num_nodes == graph.num_nodes  # still served
+    assert cache.resident_bytes == 0  # but never resident over budget
+    assert cache.evictions == 1
+    # A second request rebuilds (miss), not hits.
+    cache.set_graph(graph, SortedSet)
+    assert cache.hits == 0
+    assert cache.misses == 2
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        MaterializationCache(budget_bytes=-1)

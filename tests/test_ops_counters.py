@@ -8,12 +8,14 @@ from hypothesis import strategies as st
 
 from repro.core import (
     COUNTERS,
+    Snapshot,
     SortedSet,
     diff_merge,
     intersect_count_galloping,
     intersect_count_merge,
     intersect_galloping,
     intersect_merge,
+    merge_snapshots,
     reset,
     snapshot,
     union_merge,
@@ -64,3 +66,54 @@ def test_counters_reset():
     reset()
     assert COUNTERS.set_ops == 0
     assert COUNTERS.memory_traffic == 0
+
+
+# --- Snapshot merging (the parallel suite runner's correctness lemma) ---
+
+snapshots = st.builds(
+    Snapshot,
+    set_ops=st.integers(0, 10**9),
+    point_ops=st.integers(0, 10**9),
+    elements_read=st.integers(0, 10**12),
+    elements_written=st.integers(0, 10**12),
+    sketch_builds=st.integers(0, 10**6),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=snapshots, b=snapshots, c=snapshots)
+def test_snapshot_merge_is_associative_and_commutative(a, b, c):
+    # These two laws are what make sharded execution safe: however the
+    # cells are chunked across workers, and in whatever order the shards
+    # complete, the merged totals are the sequential totals.
+    assert a.merge(b) == b.merge(a)
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+    assert a.merge(Snapshot.zero()) == a
+    assert (a + b).memory_traffic == a.memory_traffic + b.memory_traffic
+
+
+@settings(max_examples=40, deadline=None)
+@given(deltas=st.lists(snapshots, max_size=8),
+       split=st.integers(0, 8))
+def test_merge_of_shards_equals_sequential_totals(deltas, split):
+    # Sequential totals = merge over all per-cell deltas, in order.
+    sequential = merge_snapshots(deltas)
+    # Sharded totals = per-shard merges, merged (any split point).
+    split = min(split, len(deltas))
+    sharded = merge_snapshots(
+        [merge_snapshots(deltas[:split]), merge_snapshots(deltas[split:])]
+    )
+    assert sharded == sequential
+    # The set-op and sketch_builds fields the suite artifact reports:
+    assert sequential.set_ops == sum(d.set_ops for d in deltas)
+    assert sequential.sketch_builds == sum(d.sketch_builds for d in deltas)
+
+
+@settings(max_examples=20, deadline=None)
+@given(a=snapshots, b=snapshots)
+def test_absorb_folds_worker_deltas_into_the_global_block(a, b):
+    reset()
+    COUNTERS.absorb(a)
+    COUNTERS.absorb(b)
+    assert snapshot() == a.merge(b)
+    reset()

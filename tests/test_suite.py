@@ -86,16 +86,56 @@ class TestRunSuite:
             assert (kernel, backend) in seen
 
     def test_unified_schema_fields(self, smoke_payload):
-        assert smoke_payload["schema"] == "gms-suite/v1"
+        assert smoke_payload["schema"] == "gms-suite/v2"
         for field in ("dataset", "num_nodes", "num_edges", "plan",
-                      "reference_backend", "materialization", "cells"):
+                      "reference_backend", "materialization", "counters",
+                      "execution", "cells"):
             assert field in smoke_payload
         for cell in smoke_payload["cells"]:
             for field in ("kernel", "ordering", "set_class",
                           "resolved_class", "exact", "value", "reference",
                           "rel_error", "seconds", "set_ops", "point_ops",
-                          "memory_traffic", "sketch_builds"):
+                          "memory_traffic", "sketch_builds", "extras"):
                 assert field in cell, field
+
+    def test_per_kernel_extras(self, smoke_payload):
+        # BK cells expose the recursion size plus per-task costs, kClist
+        # cells the per-task costs, and the scalar kernels nothing — the
+        # work profiles the aggregate folds into distribution stats.
+        for cell in smoke_payload["cells"]:
+            extras = cell["extras"]
+            if cell["kernel"] == "bk":
+                assert extras["recursive_calls"] > 0
+                assert len(extras["task_costs"]) > 0
+            elif cell["kernel"] == "4clique":
+                assert len(extras["task_costs"]) > 0
+                assert "recursive_calls" not in extras
+            elif cell["kernel"] == "tc":
+                assert extras == {}
+
+    def test_payload_counters_merge_cell_deltas(self, smoke_payload):
+        totals = smoke_payload["counters"]
+        for field in ("set_ops", "point_ops", "sketch_builds",
+                      "memory_traffic"):
+            assert totals[field] == sum(
+                c[field] for c in smoke_payload["cells"]
+            )
+        assert totals["set_ops"] > 0
+
+    def test_execution_block_models_every_policy(self, smoke_payload):
+        execution = smoke_payload["execution"]
+        assert execution["workers"] == 1
+        assert execution["schedule"] == "sequential"
+        assert execution["measured_seconds"] > 0
+        total = execution["cells_seconds_total"]
+        assert total == pytest.approx(
+            sum(c["seconds"] for c in smoke_payload["cells"])
+        )
+        for policy in ("static", "dynamic", "stealing"):
+            modeled = execution["modeled"][policy]
+            # One worker: the model degenerates to the sequential sum.
+            assert modeled["makespan_seconds"] == pytest.approx(total)
+            assert modeled["speedup"] == pytest.approx(1.0)
 
     def test_exact_backends_match_reference(self, smoke_payload):
         exact_cells = [c for c in smoke_payload["cells"] if c["exact"]]
@@ -164,7 +204,7 @@ class TestSuiteCommand:
         artifact = tmp_path / "suite_sc-ht-mini.json"
         assert artifact.exists()
         payload = json.loads(artifact.read_text())
-        assert payload["schema"] == "gms-suite/v1"
+        assert payload["schema"] == "gms-suite/v2"
         assert payload["cells"]
 
     def test_suite_listed_in_help(self, capsys):
@@ -189,7 +229,7 @@ class TestAggregate:
 
     def test_merges_both_artifact_families(self, results_dir):
         payload = aggregate_results(str(results_dir))
-        assert payload["schema"] == "gms-aggregate/v1"
+        assert payload["schema"] == "gms-aggregate/v2"
         assert payload["datasets"] == ["sc-ht-mini"]
         assert payload["sources"]["suite"] == ["suite_sc-ht-mini.json"]
         assert payload["sources"]["budget_sweep"] == [
@@ -219,10 +259,128 @@ class TestAggregate:
         out = capsys.readouterr().out
         assert "Cross-dataset aggregate" in out
         merged = json.loads((results_dir / "aggregate.json").read_text())
-        assert merged["schema"] == "gms-aggregate/v1"
+        assert merged["schema"] == "gms-aggregate/v2"
 
     def test_empty_results_dir_is_an_error(self, tmp_path, capsys):
         with pytest.raises(FileNotFoundError):
             aggregate_results(str(tmp_path))
         assert main(["aggregate", "--results-dir", str(tmp_path)]) == 2
         assert "error" in capsys.readouterr().out
+
+
+def _synthetic_suite_artifact(dataset, workers, schedule, measured,
+                              bk_calls, costs):
+    """A minimal gms-suite/v2 payload with known work profiles."""
+    cell_seconds = [0.4, 0.1]
+    modeled_makespan = 0.3 if workers > 1 else sum(cell_seconds)
+    total = sum(cell_seconds)
+    return {
+        "schema": "gms-suite/v2",
+        "dataset": dataset,
+        "num_nodes": 10,
+        "num_edges": 20,
+        "plan": {},
+        "reference_backend": "sorted",
+        "materialization": {"hits": 0, "misses": 0},
+        "counters": {"set_ops": 1, "point_ops": 0, "sketch_builds": 0,
+                     "memory_traffic": 2},
+        "execution": {
+            "workers": workers,
+            "schedule": schedule,
+            "measured_seconds": measured,
+            "cells_seconds_total": total,
+            "measured_speedup": total / measured,
+            "modeled": {
+                schedule if workers > 1 else "dynamic": {
+                    "makespan_seconds": modeled_makespan,
+                    "speedup": total / modeled_makespan,
+                },
+            },
+        },
+        "cells": [
+            {
+                "kernel": "bk", "ordering": "DGR", "set_class": "sorted",
+                "resolved_class": "SortedSet", "exact": True,
+                "value": 5, "seconds": cell_seconds[0],
+                "set_ops": 1, "point_ops": 0, "memory_traffic": 2,
+                "sketch_builds": 0,
+                "extras": {"recursive_calls": bk_calls,
+                           "task_costs": costs},
+                "reference": 5, "rel_error": 0.0,
+            },
+            {
+                "kernel": "tc", "ordering": "-", "set_class": "sorted",
+                "resolved_class": "SortedSet", "exact": True,
+                "value": 3, "seconds": cell_seconds[1],
+                "set_ops": 0, "point_ops": 0, "memory_traffic": 0,
+                "sketch_builds": 0, "extras": {},
+                "reference": 3, "rel_error": 0.0,
+            },
+        ],
+    }
+
+
+class TestAggregateWorkDistribution:
+    """The gms-suite/v2 extras folded over a synthetic artifact pair."""
+
+    @pytest.fixture
+    def results_dir(self, tmp_path):
+        seq = _synthetic_suite_artifact(
+            "alpha", 1, "sequential", 0.6,
+            bk_calls=100, costs=[0.3, 0.1, 0.1, 0.1],
+        )
+        par = _synthetic_suite_artifact(
+            "beta", 4, "static", 0.2,
+            bk_calls=40, costs=[0.2, 0.2],
+        )
+        (tmp_path / "suite_alpha.json").write_text(json.dumps(seq))
+        (tmp_path / "suite_beta.json").write_text(json.dumps(par))
+        return tmp_path
+
+    def test_work_distribution_summary(self, results_dir):
+        payload = aggregate_results(str(results_dir))
+        bk = payload["backends"]["sorted"]["per_kernel"]["bk"]
+        # Totals sum across both artifacts; imbalance averages the
+        # per-cell max/mean ratios: alpha 0.3/0.15 = 2.0, beta 1.0.
+        assert bk["recursive_calls"] == 140
+        assert bk["tasks"] == 6
+        assert bk["cost_imbalance"] == pytest.approx((2.0 + 1.0) / 2)
+        # Kernels without profiles carry no distribution fields.
+        tc = payload["backends"]["sorted"]["per_kernel"]["tc"]
+        assert "tasks" not in tc and "recursive_calls" not in tc
+
+    def test_measured_vs_modeled_table(self, results_dir, capsys):
+        payload = aggregate_results(str(results_dir))
+        rows = {row["dataset"]: row for row in payload["parallel"]}
+        assert rows["alpha"]["workers"] == 1
+        assert rows["alpha"]["measured_speedup"] == pytest.approx(0.5 / 0.6)
+        beta = rows["beta"]
+        assert beta["schedule"] == "static"
+        assert beta["modeled_speedup"] == pytest.approx(0.5 / 0.3)
+        assert beta["measured_speedup"] == pytest.approx(0.5 / 0.2)
+        assert beta["model_accuracy"] == pytest.approx(
+            beta["measured_speedup"] / beta["modeled_speedup"]
+        )
+        # The CLI prints the measured-vs-modeled table.
+        assert main(["aggregate", "--results-dir", str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Measured vs modeled parallel speedup" in out
+        assert "beta" in out
+
+    def test_v1_artifacts_still_fold(self, results_dir):
+        # A legacy artifact (no execution block, no extras) must not
+        # break the aggregate — it just contributes no new stats.
+        legacy = _synthetic_suite_artifact(
+            "gamma", 1, "sequential", 0.6, bk_calls=1, costs=[],
+        )
+        legacy["schema"] = "gms-suite/v1"
+        del legacy["execution"]
+        del legacy["counters"]
+        for cell in legacy["cells"]:
+            del cell["extras"]
+        (results_dir / "suite_gamma.json").write_text(json.dumps(legacy))
+        payload = aggregate_results(str(results_dir))
+        assert "gamma" in payload["datasets"]
+        assert {r["dataset"] for r in payload["parallel"]} == {
+            "alpha", "beta"
+        }
