@@ -27,12 +27,19 @@ from itertools import product
 
 import pytest
 
+from repro.platform.session import MiningSession
 from repro.platform.suite import (
     ExperimentPlan,
-    run_suite,
     main as suite_main,
 )
 from repro.platform.bench import write_artifact
+
+
+def _run_plan(plan: ExperimentPlan):
+    """One throwaway session per measured run (the `run_suite` semantics,
+    without the deprecation shim)."""
+    with MiningSession.from_plan(plan) as session:
+        return session.run_plan(plan)
 
 
 @pytest.mark.benchmark(group="suite")
@@ -40,7 +47,7 @@ def test_suite_smoke_matrix(benchmark, show_table):
     """The CI smoke plan, with the artifact schema asserted."""
     plan = ExperimentPlan.smoke()
     payloads = benchmark.pedantic(
-        lambda: run_suite(plan), rounds=1, iterations=1
+        lambda: _run_plan(plan), rounds=1, iterations=1
     )
     assert len(payloads) == len(plan.datasets) == 1
     payload = payloads[0]
@@ -84,10 +91,10 @@ def test_suite_parallel_matches_sequential(benchmark, show_table):
 
     from repro.platform.runner import diff_payloads
 
-    sequential = run_suite(ExperimentPlan.smoke())[0]
+    sequential = _run_plan(ExperimentPlan.smoke())[0]
     plan = replace(ExperimentPlan.smoke(), workers=2, schedule="static")
     payloads = benchmark.pedantic(
-        lambda: run_suite(plan), rounds=1, iterations=1
+        lambda: _run_plan(plan), rounds=1, iterations=1
     )
     parallel = payloads[0]
     assert diff_payloads(sequential, parallel) == []

@@ -11,11 +11,16 @@ shows the two extension hooks that make the sweep *registry-driven*:
   :func:`repro.platform.suite.register_suite_kernel` joins the kernel
   axis.
 
-The second half re-runs the same plan on a 2-process pool
-(``workers=2`` — the library face of ``python -m repro suite --workers
-2``) with a bounded ``MaterializationCache``, and checks the parallel
+The second half re-runs the same plan on a session with a 2-worker
+*resident* pool (the library face of ``python -m repro suite --workers
+2``) and a bounded ``MaterializationCache``, and checks the parallel
 artifact is cell-for-cell identical to the sequential one up to timing
 — custom kernel included, since workers are forked from this process.
+Plans run through :meth:`MiningSession.run_plan` — the engine behind the
+deprecated ``run_suite`` shim — so the cache (and, for parallel
+sessions, the worker pool) stays warm across every plan the session
+serves; see ``examples/session_quickstart.py`` for the fluent
+single-query face of the same session object.
 
 Run with::
 
@@ -24,15 +29,13 @@ Run with::
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.platform import print_table
 from repro.platform.runner import diff_payloads
+from repro.platform.session import MiningSession
 from repro.platform.suite import (
     SUITE_KERNELS,
     ExperimentPlan,
     register_suite_kernel,
-    run_suite,
 )
 
 
@@ -63,10 +66,11 @@ def main() -> None:
         repeats=1,
     )
 
-    # 3. Run it: one MaterializationCache per dataset means each
-    #    (backend, ordering) pair is converted exactly once, however many
-    #    kernels consume it.
-    payloads = run_suite(plan)
+    # 3. Run it through a session: one shared MaterializationCache means
+    #    each (backend, ordering) pair is converted exactly once, however
+    #    many kernels — or later plans — consume it.
+    session = MiningSession()
+    payloads = session.run_plan(plan)
 
     for payload in payloads:
         mat = payload["materialization"]
@@ -102,9 +106,9 @@ def main() -> None:
     #    cell's own materializations between its warm-up and metered
     #    runs (a too-tight budget would fold re-materialization work
     #    into some cells' counters), so check evictions before diffing.
-    parallel = run_suite(replace(
-        plan, workers=2, schedule="static", cache_budget_bytes=16 << 20,
-    ))[0]
+    with MiningSession(workers=2, schedule="static",
+                       cache_budget_bytes=16 << 20) as pool_session:
+        parallel = pool_session.run_plan(plan)[0]
     assert parallel["materialization"]["evictions"] == 0
     assert diff_payloads(payloads[0], parallel) == []
     execution = parallel["execution"]
@@ -119,6 +123,7 @@ def main() -> None:
           f"{mat['evictions']} evictions under the byte budget")
     print("parallel artifact identical to sequential up to timing: OK")
 
+    session.close()
     del SUITE_KERNELS["wedges"]  # leave the registry as we found it
 
 

@@ -22,6 +22,10 @@ Commands
                         ``results/suite_<dataset>.json``
 ``suite-diff``          compare two suite artifacts up to timing fields
                         (the parallel-vs-sequential determinism check)
+``serve``               session REPL: one long-lived ``MiningSession``
+                        (shared materialization cache, resident
+                        ``--workers N`` pool) answers ``query``/``suite``
+                        lines from stdin — repeated queries are warm
 ``aggregate``           merge suite + budget-sweep artifacts into
                         ``results/aggregate.json`` (per-backend
                         speed-vs-accuracy summaries + measured-vs-modeled
@@ -125,6 +129,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("rest", nargs=argparse.REMAINDER)
 
+    p = sub.add_parser(
+        "serve",
+        help="session REPL: serve repeated query/suite lines from one "
+             "long-lived MiningSession (resident --workers N pool)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+
     p = sub.add_parser("color", help="graph coloring")
     p.add_argument("dataset")
     p.add_argument("--method", default="JP-SL",
@@ -157,6 +169,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .platform.aggregate import main as aggregate_main
 
         return aggregate_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .platform.serve import serve_main
+
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "datasets":

@@ -145,6 +145,19 @@ def build_oriented_set_graph(
     return SetGraph(neighborhoods, set_cls, directed=True)
 
 
+def _picklable_by_reference(cls: type) -> bool:
+    """True iff *cls* can be pickled as a module-attribute reference.
+
+    Budget-derived sketch subclasses are created by class factories at run
+    time and are not importable from their module, so payloads containing
+    them cannot cross a process boundary.
+    """
+    import sys
+
+    module = sys.modules.get(getattr(cls, "__module__", ""), None)
+    return getattr(module, getattr(cls, "__qualname__", ""), None) is cls
+
+
 class MaterializationCache:
     """Memoizes the per-(graph, backend, ordering) materialization work.
 
@@ -282,8 +295,54 @@ class MaterializationCache:
         self._insert(key, dag)
         return order_res, dag
 
+    def export_graph_state(self, graph: CSRGraph) -> Dict[str, Dict]:
+        """Extract *graph*'s materialized state as a picklable payload.
+
+        Returns the memoized orderings and :class:`SetGraph` entries keyed
+        without the process-local ``id(graph)``, so another process can
+        install them under its own identity via :meth:`seed_graph_state`.
+        This is what lets a resident worker pool be pre-warmed by shipping
+        the parent's materializations *once* instead of re-materializing
+        in every worker.  Entries whose set class is not importable by
+        reference (e.g. budget-derived sketch subclasses built by the
+        ``with_shared_budget``/``with_k`` factories) are skipped — they
+        cannot cross a process boundary, and the worker re-derives them
+        locally instead.
+        """
+        gid = id(graph)
+        orderings = {
+            key[1:]: value
+            for key, value in self._orderings.items() if key[0] == gid
+        }
+        graphs = {}
+        for key, sg in self._graphs.items():
+            if key[1] != gid or not _picklable_by_reference(key[2]):
+                continue
+            graphs[(key[0],) + key[2:]] = sg
+        return {"orderings": orderings, "graphs": graphs}
+
+    def seed_graph_state(self, graph: CSRGraph, state: Dict[str, Dict]) -> None:
+        """Install an :meth:`export_graph_state` payload for *graph*.
+
+        Entries are inserted as most-recently-used and count against the
+        byte budget exactly like locally-built ones; already-present keys
+        are left untouched.  Seeding meters as insertions, not as hits or
+        misses — the stats keep reflecting this process's own lookups.
+        """
+        gid = self._key(graph)
+        for subkey, value in state["orderings"].items():
+            self._orderings.setdefault((gid,) + subkey, value)
+        for subkey, sg in state["graphs"].items():
+            key = (subkey[0], gid) + subkey[1:]
+            if key not in self._graphs:
+                self._insert(key, sg)
+
     def _count(self, kind: str) -> int:
         return sum(1 for key in self._graphs if key[0] == kind)
+
+    #: The monotone event counters in :meth:`stats` (deltas make sense);
+    #: the remaining fields are instantaneous gauges.
+    MONOTONE_STATS = ("hits", "misses", "insertions", "evictions")
 
     def stats(self) -> Dict[str, object]:
         """Hit/miss/eviction/entry/byte counts for the suite artifact."""
@@ -297,6 +356,21 @@ class MaterializationCache:
             "oriented": self._count("oriented"),
             "resident_bytes": self.resident_bytes,
             "budget_bytes": self.budget_bytes,
+        }
+
+    def stats_since(self, baseline: Dict[str, object]) -> Dict[str, object]:
+        """Stats attributable to the work since *baseline* (a prior
+        :meth:`stats` snapshot): monotone event counters as deltas,
+        gauges (entry/byte counts) at their current values.
+
+        This is what lets one long-lived cache serve many requests while
+        each request's artifact reports only its *own* cache economics.
+        """
+        now = self.stats()
+        return {
+            key: (now[key] - baseline[key] if key in self.MONOTONE_STATS
+                  else now[key])
+            for key in now
         }
 
     def clear(self) -> None:

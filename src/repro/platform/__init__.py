@@ -16,9 +16,11 @@ from .cli import (
     build_parser,
     parse_args,
     resolve_set_class,
+    resolve_set_class_for_graph,
 )
 from .pipeline import Pipeline, PipelineReport, StageRecord
 from .runner import diff_payloads, run_suite_parallel, strip_timing
+from .session import MiningSession, Query, QueryResult
 from .suite import (
     SUITE_KERNELS,
     ExperimentPlan,
@@ -37,6 +39,10 @@ __all__ = [
     "build_parser",
     "parse_args",
     "resolve_set_class",
+    "resolve_set_class_for_graph",
+    "MiningSession",
+    "Query",
+    "QueryResult",
     "parallel_reorder_seconds",
     "run_budget_sweep",
     "simulated_parallel_seconds",

@@ -3,7 +3,7 @@
 This is the first benchmark wired end-to-end through the shared GMS CLI
 surface: arguments come from :func:`repro.platform.cli.parse_args`, the
 headline representation is resolved through
-:meth:`~repro.platform.cli.Args.resolve_set_class_for_graph` (so
+:func:`~repro.platform.cli.resolve_set_class_for_graph` (so
 ``--bloom-bits`` / ``--kmv-k`` / ``--bloom-shared-bits`` all apply), and the
 rows are persisted with :func:`~repro.platform.bench.write_artifact` as
 ``results/budget_sweep_<dataset>.json`` for the CI artifact-upload step.
@@ -39,7 +39,7 @@ from ..mining.triangles import (
     triangle_count_rank_merge,
 )
 from .bench import print_table, write_artifact
-from .cli import Args, parse_args, resolve_set_class
+from .cli import Args, parse_args, resolve_set_class, resolve_set_class_for_graph
 
 __all__ = ["DEFAULT_BLOOM_GRID", "DEFAULT_KMV_GRID", "run_budget_sweep", "main"]
 
@@ -115,8 +115,8 @@ def run_budget_sweep(
 
     The CLI budget flags extend the default grids (so ``--bloom-bits 6``
     adds a ``b=6`` point), and the headline row is whatever
-    ``args.resolve_set_class_for_graph`` yields — the exact configuration
-    a kernel run with these flags would use.
+    :func:`~repro.platform.cli.resolve_set_class_for_graph` yields for the
+    flags — the exact configuration a kernel run with them would use.
     """
     graph = load_dataset(args.dataset)
     ordering = args.ordering
@@ -173,7 +173,10 @@ def run_budget_sweep(
     # coincides with a grid row (e.g. --set-class bloom --bloom-bits 8),
     # reuse that row's measurements instead of re-running the whole kernel
     # battery for a duplicate class.
-    headline_cls = args.resolve_set_class_for_graph(graph)
+    headline_cls = resolve_set_class_for_graph(
+        graph, args.set_class, bloom_bits=args.bloom_bits, kmv_k=args.kmv_k,
+        bloom_shared_bits=args.bloom_shared_bits, bloom_fpr=args.bloom_fpr,
+    )
     match = next(
         (r for r in rows if r["set_class"] == headline_cls.__name__), None
     )

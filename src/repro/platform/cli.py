@@ -9,6 +9,7 @@ output control.
 from __future__ import annotations
 
 import argparse
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Type
 
@@ -23,6 +24,7 @@ __all__ = [
     "build_parser",
     "parse_args",
     "resolve_set_class",
+    "resolve_set_class_for_graph",
 ]
 
 #: Chunking policies of the real process-pool runner (a subset of the
@@ -122,15 +124,22 @@ class Args:
         )
 
     def resolve_set_class_for_graph(self, graph) -> Type[SetBase]:
-        """Resolve ``set_class`` with the shared budget split over *graph*.
-
-        The ``m = m_total / n`` choice happens here, once per graph — the
-        factory is the only place the graph size (and, for ``--bloom-fpr``,
-        the average degree) and the budget meet.
-        """
-        n = graph.num_nodes
-        avg = 2.0 * graph.num_edges / n if n else 0.0
-        return self.resolve_set_class(num_sets=n, avg_set_size=avg)
+        """Deprecated: use :func:`resolve_set_class_for_graph` (module
+        function) or a :class:`~repro.platform.session.MiningSession`,
+        which owns backend resolution and memoizes it per graph."""
+        warnings.warn(
+            "Args.resolve_set_class_for_graph is deprecated; call "
+            "repro.platform.cli.resolve_set_class_for_graph(graph, ...) "
+            "directly, or route queries through a MiningSession "
+            "(repro.platform.session) which owns backend resolution",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return resolve_set_class_for_graph(
+            graph, self.set_class, bloom_bits=self.bloom_bits,
+            kmv_k=self.kmv_k, bloom_shared_bits=self.bloom_shared_bits,
+            bloom_fpr=self.bloom_fpr,
+        )
 
 
 def build_parser(description: str = "GMS reproduction benchmark") -> argparse.ArgumentParser:
@@ -235,3 +244,25 @@ def resolve_set_class(
     if kmv_k and issubclass(cls, KMVSketchSet):
         return cls.with_k(kmv_k)
     return cls
+
+
+def resolve_set_class_for_graph(
+    graph, set_class: str, *, bloom_bits: int = 0, kmv_k: int = 0,
+    bloom_shared_bits: int = 0, bloom_fpr: float = 0.0,
+) -> Type[SetBase]:
+    """Resolve a set-class name with the shared budget split over *graph*.
+
+    The ``m = m_total / n`` choice happens here, once per graph — this is
+    the only place the graph size (and, for ``bloom_fpr``, the average
+    degree) and the budget meet.  This is the functional form of the old
+    ``Args.resolve_set_class_for_graph`` method (now a deprecated shim):
+    the suite, the parallel runner's workers, and
+    :class:`~repro.platform.session.MiningSession` all resolve through it.
+    """
+    n = graph.num_nodes
+    avg = 2.0 * graph.num_edges / n if n else 0.0
+    return resolve_set_class(
+        set_class, bloom_bits=bloom_bits, kmv_k=kmv_k,
+        bloom_shared_bits=bloom_shared_bits, num_sets=n,
+        bloom_fpr=bloom_fpr, avg_set_size=avg,
+    )

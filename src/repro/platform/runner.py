@@ -45,8 +45,10 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing
+import pickle
 import sys
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
@@ -59,6 +61,7 @@ from ..runtime.scheduler import static_chunks
 from . import suite as _suite
 
 __all__ = [
+    "run_plan_on_pool",
     "run_suite_parallel",
     "strip_timing",
     "diff_payloads",
@@ -85,32 +88,78 @@ def _mp_context():
 # Worker side.  _WORKER_STATE persists across pool tasks within one worker
 # process: the graph and the bounded MaterializationCache are loaded once
 # per (worker, dataset), however many dynamic-schedule cells land there.
+# A resident session pool may interleave datasets across queries, so the
+# state is a small LRU rather than single-occupancy: up to
+# _WORKER_DATASET_CAPACITY graphs stay warm per worker, and each dataset's
+# SetGraph payload is independently bounded by the plan's cache budget.
 # ---------------------------------------------------------------------------
 
-_WORKER_STATE: Dict[str, Tuple[object, MaterializationCache]] = {}
-_WORKER_BACKENDS: Dict[Tuple[str, str], Type[SetBase]] = {}
+#: Per-worker cap on simultaneously warm datasets (graph + cache pairs).
+_WORKER_DATASET_CAPACITY = 4
+
+_WORKER_STATE: "OrderedDict[str, Tuple[object, MaterializationCache]]" = (
+    OrderedDict()
+)
+_WORKER_BACKENDS: Dict[tuple, Type[SetBase]] = {}
+#: Datasets installed by the pool pre-warm payload.  Pinned: they may be
+#: session-local graphs a worker cannot reload by name, so the LRU never
+#: evicts them.
+_WORKER_PINNED: set = set()
+
+
+def _seed_worker(payload_bytes: bytes) -> None:
+    """Pool initializer: install pre-warmed per-dataset state.
+
+    The payload — pickled once in the parent, when the resident pool is
+    created — maps dataset names to ``(graph, cache_state, budget)``.
+    Each worker unpickles its copy at startup and seeds its local
+    :class:`MaterializationCache`, so the first task it serves finds the
+    oriented ``SetGraph`` already materialized instead of rebuilding it.
+    Seeded *non-registry* datasets are pinned against LRU eviction: a
+    custom session graph exists only in this payload, and evicting it
+    would make every later task for it fail.  Registry datasets stay
+    evictable — a worker can always reload them by name — so the
+    ``_WORKER_DATASET_CAPACITY`` bound keeps holding for them.
+    """
+    from ..graph import DATASETS
+
+    for dataset, (graph, cache_state, budget) in pickle.loads(
+        payload_bytes
+    ).items():
+        cache = MaterializationCache(budget_bytes=budget)
+        if cache_state is not None:
+            cache.seed_graph_state(graph, cache_state)
+        _WORKER_STATE[dataset] = (graph, cache)
+        if dataset not in DATASETS:
+            _WORKER_PINNED.add(dataset)
 
 
 def _worker_dataset(plan, dataset: str):
     state = _WORKER_STATE.get(dataset)
-    if state is None:
-        # The parent finishes one dataset completely before dispatching
-        # the next, so prior datasets' graphs and caches are dead weight
-        # here — drop them, or a multi-dataset plan would accumulate
-        # every graph in every worker regardless of the cache budget.
-        _WORKER_STATE.clear()
-        _WORKER_BACKENDS.clear()
-        graph = load_dataset(dataset)
-        cache = MaterializationCache(
-            budget_bytes=plan.cache_budget_bytes or None
-        )
-        state = (graph, cache)
-        _WORKER_STATE[dataset] = state
+    if state is not None:
+        _WORKER_STATE.move_to_end(dataset)
+        return state
+    evictable = [name for name in _WORKER_STATE
+                 if name not in _WORKER_PINNED]
+    while evictable and len(_WORKER_STATE) >= _WORKER_DATASET_CAPACITY:
+        victim = evictable.pop(0)
+        del _WORKER_STATE[victim]
+        for key in [k for k in _WORKER_BACKENDS if k[0] == victim]:
+            del _WORKER_BACKENDS[key]
+    graph = load_dataset(dataset)
+    cache = MaterializationCache(
+        budget_bytes=plan.cache_budget_bytes or None
+    )
+    state = (graph, cache)
+    _WORKER_STATE[dataset] = state
     return state
 
 
 def _worker_backend(plan, dataset: str, backend_name: str, graph):
-    key = (dataset, backend_name)
+    # The memo key carries the plan's budget knobs: a resident pool serves
+    # queries whose budgets differ call to call, and a class resolved
+    # under one budget must never leak into another.
+    key = (dataset, backend_name) + plan.budget_key()
     cls = _WORKER_BACKENDS.get(key)
     if cls is None:
         cls = _suite.resolve_backend(plan, dataset, backend_name, graph)
@@ -126,10 +175,14 @@ def _run_shard(
     Returns the finished cells (keyed by their canonical index), the
     worker's counter delta for the shard (kernel work *plus* the warm-up /
     materialization overhead — what the shard really cost this process),
-    and the worker's cumulative cache stats keyed by PID so the parent can
-    aggregate pool-wide materialization work without double-counting.
+    and the cache-stats *delta* attributable to this shard (monotone
+    counters since the shard started; gauges instantaneous) so the parent
+    can aggregate per-run materialization work even though the worker's
+    cache — and, under a resident session pool, the worker itself —
+    outlives any single run.
     """
     graph, cache = _worker_dataset(plan, dataset)
+    stats_baseline = cache.stats()
     before = _counters.snapshot()
     cells: List[Tuple[int, Dict[str, object]]] = []
     for index, (backend_name, kernel_name, ordering) in shard:
@@ -144,7 +197,7 @@ def _run_shard(
         "pid": multiprocessing.current_process().pid,
         "cells": cells,
         "counters": delta,
-        "cache_stats": cache.stats(),
+        "cache_stats": cache.stats_since(stats_baseline),
         # The parent never loads the dataset itself; the dims it needs
         # for the artifact travel back with every shard.
         "num_nodes": graph.num_nodes,
@@ -171,10 +224,31 @@ def _shards(
     return [[item] for item in indexed]
 
 
+#: Cache-stat fields that are deltas per shard report (summed when a
+#: worker reports several shards); the rest are instantaneous gauges
+#: where the latest report per worker wins.
+_DELTA_CACHE_FIELDS = MaterializationCache.MONOTONE_STATS
+
+
+def accumulate_cache_stats(
+    per_pid: Dict[int, Dict[str, object]], pid: int,
+    report: Dict[str, object],
+) -> None:
+    """Fold one shard's cache-stats report into the per-PID accumulator."""
+    acc = per_pid.get(pid)
+    if acc is None:
+        per_pid[pid] = dict(report)
+        return
+    for field in _DELTA_CACHE_FIELDS:
+        acc[field] += report[field]
+    for field in ("orderings", "set_graphs", "oriented", "resident_bytes"):
+        acc[field] = report[field]
+
+
 def _merge_cache_stats(
     per_pid: Dict[int, Dict[str, object]], budget_bytes: Optional[int],
 ) -> Dict[str, object]:
-    """Sum the pool's per-process cache stats (latest report per PID)."""
+    """Sum the pool's accumulated per-process cache stats."""
     merged = {
         field: sum(stats[field] for stats in per_pid.values())
         for field in ("hits", "misses", "insertions", "evictions",
@@ -186,59 +260,89 @@ def _merge_cache_stats(
     return merged
 
 
+def run_plan_on_pool(
+    pool: ProcessPoolExecutor, plan, dataset: str, verbose: bool = False,
+    worker_stats: Optional[Dict[int, Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """Execute *plan*'s cells for one dataset on an existing pool.
+
+    This is the per-dataset body shared by :func:`run_suite_parallel`
+    (which owns a pool for the duration of one plan) and
+    :class:`~repro.platform.session.MiningSession` (whose *resident* pool
+    outlives any single plan).  Worker counter deltas are folded back into
+    this process's global block, so ``snapshot()`` around a parallel run
+    still reports true totals.  *worker_stats*, when given, additionally
+    receives the run's per-PID cache-stats reports (the session feeds its
+    own accumulator here so ``session.stats()`` sees pool-served plans).
+    """
+    specs = _suite.expand_cells(plan)
+    shards = _shards(specs, plan.workers, plan.schedule)
+    t0 = time.perf_counter()
+    futures = [
+        pool.submit(_run_shard, plan, dataset, shard)
+        for shard in shards
+    ]
+    cells: List[Optional[Dict[str, object]]] = [None] * len(specs)
+    worker_deltas: List[Snapshot] = []
+    cache_stats_by_pid: Dict[int, Dict[str, object]] = {}
+    num_nodes = num_edges = 0
+    for future in futures:
+        result = future.result()
+        num_nodes = result["num_nodes"]
+        num_edges = result["num_edges"]
+        worker_deltas.append(result["counters"])
+        accumulate_cache_stats(
+            cache_stats_by_pid, result["pid"], result["cache_stats"]
+        )
+        if worker_stats is not None:
+            accumulate_cache_stats(
+                worker_stats, result["pid"], result["cache_stats"]
+            )
+        for index, cell in result["cells"]:
+            cells[index] = cell
+            if verbose:
+                print(
+                    f"  {dataset} {cell['kernel']:<9} "
+                    f"{cell['ordering']:<4} "
+                    f"{cell['set_class']:<10} value={cell['value']} "
+                    f"({1000 * cell['seconds']:.1f} ms, "
+                    f"pid {result['pid']})"
+                )
+    measured = time.perf_counter() - t0
+    _counters.COUNTERS.absorb(merge_snapshots(worker_deltas))
+    return _suite.dataset_payload(
+        plan, dataset, num_nodes, num_edges, cells,
+        _merge_cache_stats(
+            cache_stats_by_pid, plan.cache_budget_bytes or None
+        ),
+        measured, workers=plan.workers, schedule=plan.schedule,
+    )
+
+
 def run_suite_parallel(
-    plan, verbose: bool = False
+    plan, verbose: bool = False, pool: Optional[ProcessPoolExecutor] = None
 ) -> List[Dict[str, object]]:
     """Execute *plan* on a ``plan.workers``-process pool; one payload per
     dataset, cell-for-cell identical to the sequential run up to timing.
 
-    The pool is created once and reused across datasets, so worker-side
-    graph/cache state amortizes over the whole plan.
+    With no *pool* argument, a pool is created once and reused across the
+    plan's datasets, so worker-side graph/cache state amortizes over the
+    whole plan.  Passing an existing executor (a session's resident pool)
+    skips pool creation entirely — worker state then amortizes across
+    *plans*, not just datasets.
     """
     plan.validate_execution()
-    payloads: List[Dict[str, object]] = []
+    if pool is not None:
+        return [
+            run_plan_on_pool(pool, plan, dataset, verbose=verbose)
+            for dataset in plan.datasets
+        ]
     ctx = _mp_context()
-    with ProcessPoolExecutor(max_workers=plan.workers, mp_context=ctx) as pool:
-        for dataset in plan.datasets:
-            specs = _suite.expand_cells(plan)
-            shards = _shards(specs, plan.workers, plan.schedule)
-            t0 = time.perf_counter()
-            futures = [
-                pool.submit(_run_shard, plan, dataset, shard)
-                for shard in shards
-            ]
-            cells: List[Optional[Dict[str, object]]] = [None] * len(specs)
-            worker_deltas: List[Snapshot] = []
-            cache_stats_by_pid: Dict[int, Dict[str, object]] = {}
-            num_nodes = num_edges = 0
-            for future in futures:
-                result = future.result()
-                num_nodes = result["num_nodes"]
-                num_edges = result["num_edges"]
-                worker_deltas.append(result["counters"])
-                cache_stats_by_pid[result["pid"]] = result["cache_stats"]
-                for index, cell in result["cells"]:
-                    cells[index] = cell
-                    if verbose:
-                        print(
-                            f"  {dataset} {cell['kernel']:<9} "
-                            f"{cell['ordering']:<4} "
-                            f"{cell['set_class']:<10} value={cell['value']} "
-                            f"({1000 * cell['seconds']:.1f} ms, "
-                            f"pid {result['pid']})"
-                        )
-            measured = time.perf_counter() - t0
-            # Fold the children's work into this process's global block so
-            # `snapshot()` around a parallel run still reports true totals.
-            _counters.COUNTERS.absorb(merge_snapshots(worker_deltas))
-            payloads.append(_suite.dataset_payload(
-                plan, dataset, num_nodes, num_edges, cells,
-                _merge_cache_stats(
-                    cache_stats_by_pid, plan.cache_budget_bytes or None
-                ),
-                measured, workers=plan.workers, schedule=plan.schedule,
-            ))
-    return payloads
+    with ProcessPoolExecutor(max_workers=plan.workers, mp_context=ctx) as owned:
+        return [
+            run_plan_on_pool(owned, plan, dataset, verbose=verbose)
+            for dataset in plan.datasets
+        ]
 
 
 # ---------------------------------------------------------------------------

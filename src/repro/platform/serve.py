@@ -1,0 +1,203 @@
+"""``python -m repro serve`` — a session REPL for repeated queries.
+
+The long-lived-service face of :class:`~repro.platform.session.
+MiningSession`: one session is opened for the whole process, and every
+line read from stdin is a request served against its shared
+materialization cache and (for ``--workers > 1``) its resident,
+pre-warmed process pool.  Repeating a query is therefore *warm* —
+exactly the behavior the session exists to provide, and the thing the CI
+session-smoke step exercises by piping the same ``suite --smoke`` line
+twice through one serve process.
+
+Commands (one per line; ``#`` starts a comment)::
+
+    query <kernel> <dataset> [backend=NAME] [ordering=NAME] [k=N]
+          [fpr=F] [bits=N] [shared_bits=N] [kmv_k=N] [repeats=N]
+    suite [suite CLI flags, e.g. --smoke --datasets ...]
+    warm <dataset> [backend ...]
+    stats
+    datasets
+    kernels
+    help
+    quit
+
+``query`` prints one result line; ``suite`` runs a full declarative plan
+through the session and writes the standard ``results/suite_<dataset>``
+artifacts; ``stats`` dumps the session's cache/counter/pool stats as
+JSON.  A malformed line (unknown command, bad query option, unparsable
+suite flags) fails that request, not the session.  Exit status is
+nonzero if any suite run failed its exact-backend cross-check or any
+line failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shlex
+import sys
+from typing import IO, List, Optional
+
+from ..graph import dataset_names
+from .cli import add_parallel_args
+from .session import MiningSession
+from .suite import SUITE_KERNELS, plan_from_argv, report_payloads
+
+__all__ = ["build_serve_parser", "serve_main"]
+
+_PROMPT = "gms> "
+
+_QUERY_KEYS = {
+    "backend", "ordering", "k", "eps", "fpr", "bits", "shared_bits",
+    "kmv_k", "repeats",
+}
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve repeated mining queries from one MiningSession",
+    )
+    add_parallel_args(parser)
+    parser.add_argument("--no-prompt", action="store_true",
+                        help="suppress the interactive prompt (script mode)")
+    parser.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def _parse_query_line(session: MiningSession, tokens: List[str]):
+    if len(tokens) < 2:
+        raise ValueError("usage: query <kernel> <dataset> [key=value ...]")
+    kernel, dataset = tokens[0], tokens[1]
+    options = {}
+    for token in tokens[2:]:
+        if "=" not in token:
+            raise ValueError(f"expected key=value, got {token!r}")
+        key, value = token.split("=", 1)
+        if key not in _QUERY_KEYS:
+            raise ValueError(
+                f"unknown query option {key!r}; known: {sorted(_QUERY_KEYS)}"
+            )
+        options[key] = value
+    query = session.query(
+        kernel,
+        k=int(options.pop("k", 4)),
+        eps=float(options.pop("eps", 0.1)),
+    ).on(dataset)
+    if {"backend", "fpr", "bits", "shared_bits", "kmv_k"} & set(options):
+        query = query.backend(
+            options.pop("backend", "sorted"),
+            fpr=float(options.pop("fpr", 0.0)),
+            bits=int(options.pop("bits", 0)),
+            shared_bits=int(options.pop("shared_bits", 0)),
+            kmv_k=int(options.pop("kmv_k", 0)),
+        )
+    if "ordering" in options:
+        query = query.ordering(options.pop("ordering"))
+    if "repeats" in options:
+        query = query.repeats(int(options.pop("repeats")))
+    return query
+
+
+def _print_help() -> None:
+    print(
+        "commands:\n"
+        "  query <kernel> <dataset> [backend=NAME] [ordering=NAME] [k=N]\n"
+        "        [eps=F] [fpr=F] [bits=N] [shared_bits=N] [kmv_k=N]"
+        " [repeats=N]\n"
+        "  suite [suite CLI flags]\n"
+        "  warm <dataset> [backend ...]\n"
+        "  stats | datasets | kernels | help | quit"
+    )
+
+
+def serve_main(argv: Optional[List[str]] = None,
+               stdin: Optional[IO[str]] = None) -> int:
+    """Entry point for ``python -m repro serve``.
+
+    *stdin* overrides the input stream (tests feed an ``io.StringIO``).
+    """
+    ns = build_serve_parser().parse_args(argv)
+    stream = stdin if stdin is not None else sys.stdin
+    interactive = (
+        not ns.no_prompt and stream is sys.stdin
+        and getattr(stream, "isatty", lambda: False)()
+    )
+    failures = 0
+    with MiningSession(
+        workers=ns.workers, schedule=ns.schedule,
+        cache_budget_bytes=ns.cache_budget_bytes, verbose=ns.verbose,
+    ) as session:
+        print(f"session ready: {session!r} (type 'help' for commands)")
+        while True:
+            if interactive:
+                print(_PROMPT, end="", flush=True)
+            line = stream.readline()
+            if not line:
+                break
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                tokens = shlex.split(line)
+                command, rest = tokens[0], tokens[1:]
+                if command in ("quit", "exit"):
+                    break
+                elif command == "help":
+                    _print_help()
+                elif command == "datasets":
+                    print(" ".join(dataset_names()))
+                elif command == "kernels":
+                    print(" ".join(sorted(SUITE_KERNELS)))
+                elif command == "stats":
+                    print(json.dumps(session.stats(), indent=2, default=str))
+                elif command == "warm":
+                    if not rest:
+                        raise ValueError("usage: warm <dataset> [backend ...]")
+                    session.warm(rest[0], backends=tuple(rest[1:]) or ("sorted",))
+                    print(f"warmed {rest[0]}")
+                elif command == "suite":
+                    plan = plan_from_argv(rest)
+                    payloads = session.run_plan(plan)
+                    failures += report_payloads(payloads)
+                elif command == "query":
+                    result = _parse_query_line(session, rest).run()
+                    print(
+                        f"{result.kernel} on {result.dataset} "
+                        f"[{result.backend} -> {result.resolved_class}, "
+                        f"{result.ordering}]: value={result.value} "
+                        f"({1000 * result.wall_seconds:.1f} ms wall, "
+                        f"{1000 * result.seconds:.1f} ms kernel, "
+                        f"cache {result.cache_hits}h/{result.cache_misses}m)"
+                    )
+                else:
+                    raise ValueError(
+                        f"unknown command {command!r} (try 'help')"
+                    )
+            except SystemExit as exc:
+                # argparse exits on bad suite flags (and on `--help`);
+                # a long-lived session must survive both — report the
+                # failure, keep serving.
+                if exc.code not in (0, None):
+                    failures += 1
+                    print("error: could not parse suite flags "
+                          f"(exit {exc.code})", file=sys.stderr)
+            except Exception as exc:
+                # Any request-level failure — bad input, a kernel raising,
+                # artifact I/O — fails that request, never the session.
+                failures += 1
+                print(f"error: {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+        stats = session.stats()
+        worker_note = ""
+        if stats["worker_caches"]:
+            workers = stats["worker_caches"]
+            worker_note = (f", worker caches {workers['hits']} hits / "
+                           f"{workers['misses']} misses")
+        print(
+            f"session closing: {stats['queries']} query(ies), "
+            f"{stats['plans']} plan(s), cache {stats['cache']['hits']} hits "
+            f"/ {stats['cache']['misses']} misses{worker_note}, "
+            f"pool starts {stats['pool']['starts']}"
+        )
+    return 1 if failures else 0

@@ -1,0 +1,790 @@
+"""Session-centric mining API: one long-lived object owns the state.
+
+The GMS platform's modularity — swappable set representations, vertex
+orderings, and kernels behind one set-algebra interface — used to surface
+as ad-hoc plumbing: every call threaded its own ``set_cls``/``cache``
+arguments, backend resolution lived on the CLI ``Args`` object, and each
+``run_suite`` call built (and tore down) its own process pool.  For a
+long-lived service answering repeated queries, all of that state belongs
+in one place.  :class:`MiningSession` is that place:
+
+* a **named graph store** — registry datasets loaded once per session
+  (:meth:`~MiningSession.load`), plus arbitrary in-memory graphs
+  (:meth:`~MiningSession.add_graph`);
+* one **budget-bounded** :class:`~repro.graph.set_graph.MaterializationCache`
+  shared across *all* requests, so the second query touching a
+  (graph, backend, ordering) combination hits cached materializations
+  instead of rebuilding them;
+* **merged counters** — :attr:`~MiningSession.counters` accumulates the
+  set-algebra software counters across every query the session served,
+  including work done in pool workers (folded back via the associative
+  :meth:`~repro.core.counters.Snapshot.merge`);
+* a **resident** :class:`~concurrent.futures.ProcessPoolExecutor` —
+  started lazily on the first batch/plan that needs it, reused by every
+  subsequent request, and **pre-warmed** by shipping the pickled graphs
+  and oriented ``SetGraph`` materializations once at pool creation
+  instead of re-materializing per task.  It is created at most once per
+  session (:attr:`~MiningSession.pool_starts` pins this) and torn down by
+  :meth:`~MiningSession.close`.
+
+On top of the session sits the fluent :class:`Query` builder::
+
+    from repro.platform.session import MiningSession
+
+    with MiningSession(workers=2) as session:
+        result = (
+            session.query("kclique", k=4)
+            .on("ca-grqc")
+            .backend("bloom", fpr=0.01)
+            .ordering("degeneracy")
+            .run()
+        )
+        batch = session.query("tc").on("sc-ht-mini").run_many([
+            {"backend": "bitset"}, {"backend": "bloom"},
+        ])
+
+A query compiles down to the existing
+:class:`~repro.platform.suite.ExperimentPlan` /
+:func:`~repro.platform.suite.run_cell` machinery — the suite, the
+parallel runner, the budget sweep, and the CLI (including the
+``python -m repro serve`` REPL) are all thin clients of the same session
+object model.
+
+Migration notes (from the ``Args``-threading API)
+-------------------------------------------------
+* ``Args.resolve_set_class_for_graph(graph)`` → deprecated.  Use
+  :func:`repro.platform.cli.resolve_set_class_for_graph` for one-shot
+  resolution, or let the session resolve (and memoize) backends: the
+  :meth:`Query.backend` budgets map onto the same knobs
+  (``fpr`` → ``--bloom-fpr``, ``bits`` → ``--bloom-bits``,
+  ``shared_bits`` → ``--bloom-shared-bits``, ``kmv_k`` → ``--kmv-k``).
+* ``run_suite(plan)`` → deprecated shim.  It now opens a throwaway
+  session and calls :meth:`MiningSession.run_plan`; long-lived callers
+  should hold a session so caches and the pool survive across plans.
+* Per-call ``set_cls=...``/``cache=...`` threading through kernels keeps
+  working (the kernels are unchanged), but the session is the intended
+  owner of both: ``session.query(...)`` passes its shared cache and its
+  memoized resolved backend for you.
+* ``ProcessPoolExecutor`` per ``run_suite`` call → the session's resident
+  pool.  The pool inherits whatever graphs the session had loaded when it
+  started; graphs loaded afterwards are materialized worker-side on first
+  use (registry datasets only — add custom graphs *before* the first
+  parallel request so they ship with the warm payload).
+
+Sequential single queries (``.run()`` on a ``workers=1`` session) execute
+in-process against the shared session cache — lowest latency, cache hits
+visible in :meth:`MiningSession.stats`.  Batches (:meth:`Query.run_many`)
+and plans (:meth:`MiningSession.run_plan`) fan out across the resident
+pool when ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from ..core import counters as _counters
+from ..core.counters import Snapshot, merge_snapshots
+from ..core.interface import SetBase
+from ..graph import DATASETS, load_dataset
+from ..graph.csr import CSRGraph
+from ..graph.set_graph import MaterializationCache
+from ..preprocess.ordering import ORDERINGS
+from .cli import RUNNER_SCHEDULES
+from .suite import (
+    SUITE_KERNELS,
+    ExperimentPlan,
+    dataset_payload,
+    expand_cells,
+    resolve_backend,
+    run_cell,
+)
+
+__all__ = [
+    "ORDERING_ALIASES",
+    "MiningSession",
+    "Query",
+    "QueryResult",
+    "resolve_ordering_name",
+]
+
+#: Friendly ordering names accepted by :meth:`Query.ordering` (and the
+#: serve REPL) next to the registry mnemonics.
+ORDERING_ALIASES: Dict[str, str] = {
+    "degeneracy": "DGR",
+    "approx-degeneracy": "ADG",
+    "degree": "DEG",
+    "triangle": "TRI",
+    "identity": "ID",
+    "random": "RANDOM",
+}
+
+
+def resolve_ordering_name(name: str) -> str:
+    """Map an ordering alias or registry mnemonic to the registry name."""
+    resolved = ORDERING_ALIASES.get(name.lower(), name)
+    if resolved not in ORDERINGS:
+        known = sorted(ORDERINGS) + sorted(ORDERING_ALIASES)
+        raise KeyError(f"unknown ordering {name!r}; known: {known}")
+    return resolved
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query.
+
+    ``seconds`` is the warm best-of-repeats kernel time (the suite cell
+    metric); ``wall_seconds`` is the end-to-end latency the session
+    observed for this request, *including* any materialization and
+    warm-up — the number the cold-vs-warm comparison is about.
+    ``counters`` is the query's set-algebra delta (warm-up included), and
+    ``cache_hits``/``cache_misses`` the session-cache delta (in-process
+    queries only; pool-served queries hit worker-local caches instead,
+    visible in :meth:`MiningSession.stats`).
+    """
+
+    kernel: str
+    dataset: str
+    backend: str
+    resolved_class: str
+    ordering: str
+    value: object
+    exact: bool
+    seconds: float
+    wall_seconds: float
+    counters: Snapshot
+    cache_hits: int
+    cache_misses: int
+    cell: Dict[str, object] = field(repr=False)
+
+
+class Query:
+    """Fluent, immutable query description bound to a session.
+
+    Every builder method returns a *new* ``Query``, so a configured query
+    can be reused as a template: ``base = session.query("tc").on("x")``
+    then ``base.backend("bloom").run()`` and ``base.run()`` are
+    independent.  :meth:`run` answers one query; :meth:`run_many` answers
+    a batch of variations of this query (through the resident pool when
+    the session has one).
+    """
+
+    _OVERRIDE_KEYS = (
+        "kernel", "dataset", "backend", "ordering", "k", "eps", "repeats",
+        "fpr", "bits", "shared_bits", "kmv_k",
+    )
+
+    def __init__(self, session: "MiningSession", kernel: str, *,
+                 k: int = 4, eps: float = 0.1):
+        if kernel not in SUITE_KERNELS:
+            raise KeyError(
+                f"unknown kernel {kernel!r}; known: {sorted(SUITE_KERNELS)}"
+            )
+        self._session = session
+        self._kernel = kernel
+        self._dataset: Optional[str] = None
+        self._backend = "sorted"
+        self._ordering = "DGR"
+        self._k = k
+        self._eps = eps
+        self._repeats = 1
+        self._bloom_bits = 0
+        self._kmv_k = 0
+        self._bloom_shared_bits = 0
+        self._bloom_fpr = 0.0
+
+    def _clone(self) -> "Query":
+        clone = Query.__new__(Query)
+        clone.__dict__.update(self.__dict__)
+        return clone
+
+    def on(self, dataset: str) -> "Query":
+        """Select the graph to mine (registry name or a session-added one)."""
+        clone = self._clone()
+        clone._dataset = dataset
+        return clone
+
+    def backend(self, name: str, *, fpr: float = 0.0, bits: int = 0,
+                shared_bits: int = 0, kmv_k: int = 0) -> "Query":
+        """Select the set representation and its sketch budgets.
+
+        The budget keywords carry the shared CLI semantics: ``fpr`` is the
+        Bloom false-positive target (auto-sizes a shared budget, wins over
+        the bit budgets), ``bits`` the per-element Bloom budget,
+        ``shared_bits`` the per-graph shared Bloom total, ``kmv_k`` the
+        KMV signature size.  Resolution happens per graph at run time and
+        is memoized by the session.
+        """
+        clone = self._clone()
+        clone._backend = name
+        clone._bloom_fpr = fpr
+        clone._bloom_bits = bits
+        clone._bloom_shared_bits = shared_bits
+        clone._kmv_k = kmv_k
+        return clone
+
+    def ordering(self, name: str) -> "Query":
+        """Select the vertex ordering (registry mnemonic or alias)."""
+        clone = self._clone()
+        clone._ordering = resolve_ordering_name(name)
+        return clone
+
+    def params(self, *, k: Optional[int] = None,
+               eps: Optional[float] = None) -> "Query":
+        """Override kernel parameters (clique size ``k``, ADG ``eps``)."""
+        clone = self._clone()
+        if k is not None:
+            clone._k = k
+        if eps is not None:
+            clone._eps = eps
+        return clone
+
+    def repeats(self, n: int) -> "Query":
+        """Meter the kernel as best-of-*n* (timing only; one warm-up pass)."""
+        clone = self._clone()
+        clone._repeats = max(1, n)
+        return clone
+
+    def with_overrides(self, overrides: Mapping[str, object]) -> "Query":
+        """Apply a :meth:`run_many` variant dict to this query."""
+        unknown = set(overrides) - set(self._OVERRIDE_KEYS)
+        if unknown:
+            raise KeyError(
+                f"unknown query override(s) {sorted(unknown)}; "
+                f"known: {list(self._OVERRIDE_KEYS)}"
+            )
+        query = self
+        if "kernel" in overrides:
+            fresh = Query(self._session, str(overrides["kernel"]))
+            fresh.__dict__.update(
+                {k: v for k, v in self.__dict__.items() if k != "_kernel"}
+            )
+            query = fresh
+        if "dataset" in overrides:
+            query = query.on(str(overrides["dataset"]))
+        if "backend" in overrides:
+            query = query.backend(
+                str(overrides["backend"]),
+                fpr=float(overrides.get("fpr", query._bloom_fpr)),
+                bits=int(overrides.get("bits", query._bloom_bits)),
+                shared_bits=int(
+                    overrides.get("shared_bits", query._bloom_shared_bits)
+                ),
+                kmv_k=int(overrides.get("kmv_k", query._kmv_k)),
+            )
+        elif {"fpr", "bits", "shared_bits", "kmv_k"} & set(overrides):
+            query = query.backend(
+                query._backend,
+                fpr=float(overrides.get("fpr", query._bloom_fpr)),
+                bits=int(overrides.get("bits", query._bloom_bits)),
+                shared_bits=int(
+                    overrides.get("shared_bits", query._bloom_shared_bits)
+                ),
+                kmv_k=int(overrides.get("kmv_k", query._kmv_k)),
+            )
+        if "ordering" in overrides:
+            query = query.ordering(str(overrides["ordering"]))
+        if "k" in overrides or "eps" in overrides:
+            query = query.params(
+                k=(int(overrides["k"]) if "k" in overrides else None),
+                eps=(float(overrides["eps"]) if "eps" in overrides
+                     else None),
+            )
+        if "repeats" in overrides:
+            query = query.repeats(int(overrides["repeats"]))
+        return query
+
+    # -- compilation --------------------------------------------------------
+
+    def plan(self) -> ExperimentPlan:
+        """Compile this query to a single-cell :class:`ExperimentPlan`."""
+        if self._dataset is None:
+            raise ValueError("query has no dataset; call .on(<dataset>)")
+        session = self._session
+        return ExperimentPlan(
+            datasets=(self._dataset,),
+            kernels=(self._kernel,),
+            set_classes=(self._backend,),
+            orderings=(self._ordering,),
+            k=self._k,
+            eps=self._eps,
+            repeats=self._repeats,
+            bloom_bits=self._bloom_bits,
+            kmv_k=self._kmv_k,
+            bloom_shared_bits=self._bloom_shared_bits,
+            bloom_fpr=self._bloom_fpr,
+            workers=session.workers,
+            schedule=session.schedule,
+            cache_budget_bytes=session.cache_budget_bytes,
+        )
+
+    def cell_spec(self) -> Tuple[str, str, str]:
+        """The ``(backend, kernel, ordering)`` cell this query denotes."""
+        kernel = SUITE_KERNELS[self._kernel]
+        ordering = self._ordering if kernel.uses_ordering else "-"
+        return (self._backend, self._kernel, ordering)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> QueryResult:
+        """Answer this query in-process against the session cache."""
+        return self._session._run_query(self)
+
+    def run_many(
+        self, variants: Optional[Sequence[Mapping[str, object]]] = None
+    ) -> List[QueryResult]:
+        """Answer a batch: this query under each override dict.
+
+        ``variants=None`` runs the query once (a batch of one).  On a
+        ``workers > 1`` session the batch fans out over the resident pool,
+        one task per variant; per-variant counter deltas are merged with
+        the associative :meth:`Snapshot.merge` so the session totals are
+        identical to a sequential run of the same batch.
+        """
+        queries = (
+            [self] if variants is None
+            else [self.with_overrides(v) for v in variants]
+        )
+        return self._session._run_batch(queries)
+
+
+class MiningSession:
+    """The long-lived facade owning graphs, cache, counters, and the pool.
+
+    See the module docstring for the object model and migration notes.
+    ``workers=1`` (default) answers everything in-process; ``workers > 1``
+    serves batches and plans from a resident process pool that is started
+    lazily, pre-warmed once, and reused until :meth:`close`.
+    """
+
+    def __init__(self, *, workers: int = 1, schedule: str = "dynamic",
+                 cache_budget_bytes: int = 0, verbose: bool = False):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if schedule not in RUNNER_SCHEDULES:
+            raise ValueError(
+                f"unknown schedule {schedule!r}; known: {RUNNER_SCHEDULES}"
+            )
+        self.workers = workers
+        self.schedule = schedule
+        self.cache_budget_bytes = cache_budget_bytes
+        self.verbose = verbose
+        self.cache = MaterializationCache(
+            budget_bytes=cache_budget_bytes or None
+        )
+        self.pool_starts = 0
+        self.queries_run = 0
+        self.plans_run = 0
+        self._graphs: Dict[str, CSRGraph] = {}
+        self._resolved: Dict[tuple, Tuple[CSRGraph, Type[SetBase]]] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._shipped: frozenset = frozenset()
+        self._worker_cache_stats: Dict[int, Dict[str, object]] = {}
+        self._baseline = _counters.snapshot()
+        self._closed = False
+
+    @classmethod
+    def from_plan(cls, plan: ExperimentPlan,
+                  verbose: bool = False) -> "MiningSession":
+        """A session matching *plan*'s execution knobs (shim entry path)."""
+        plan.validate_execution()
+        return cls(
+            workers=plan.workers, schedule=plan.schedule,
+            cache_budget_bytes=plan.cache_budget_bytes, verbose=verbose,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "MiningSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear down the resident pool and refuse further requests.
+
+        Idempotent.  The cache and counters stay readable after close (for
+        final stats reporting); only execution is refused.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("MiningSession is closed")
+
+    # -- graph store --------------------------------------------------------
+
+    def load(self, name: str) -> CSRGraph:
+        """Load a registry dataset into the session store (memoized)."""
+        graph = self._graphs.get(name)
+        if graph is None:
+            graph = load_dataset(name)
+            self._graphs[name] = graph
+        return graph
+
+    def add_graph(self, name: str, graph: CSRGraph) -> CSRGraph:
+        """Register an in-memory graph under *name* for this session.
+
+        Add custom graphs before the first parallel request: the resident
+        pool ships the graph store once, at creation, and workers can only
+        self-load *registry* datasets afterwards.  For the same reason, a
+        name already shipped to a running pool cannot be re-bound — the
+        workers would keep serving the old graph.
+        """
+        if name in DATASETS:
+            raise ValueError(
+                f"{name!r} is a registry dataset name; pool workers "
+                f"resolve registry names through the registry, so "
+                f"shadowing one with a session graph would diverge — "
+                f"pick a different name"
+            )
+        if self._pool is not None and name in self._shipped:
+            raise RuntimeError(
+                f"graph {name!r} was already shipped to the resident pool "
+                f"and cannot be re-bound; use a new name (or a new session)"
+            )
+        self._graphs[name] = graph
+        return graph
+
+    def graphs(self) -> List[str]:
+        """Names currently in the session store."""
+        return sorted(self._graphs)
+
+    def warm(self, dataset: str, backends: Sequence[str] = ("sorted",),
+             orderings: Sequence[str] = ("DGR",), eps: float = 0.1, *,
+             fpr: float = 0.0, bits: int = 0, shared_bits: int = 0,
+             kmv_k: int = 0) -> None:
+        """Pre-materialize (backend × ordering) combinations for *dataset*.
+
+        Populates the session cache so a subsequent pool start ships real
+        materializations — and so the first query is already warm.  The
+        budget keywords mirror :meth:`Query.backend`: warming is only
+        useful if it resolves to the *same* class the queries will use,
+        and budgeted resolution depends on these knobs.  (Budget-derived
+        sketch classes cannot ship to pool workers — they are not
+        picklable by reference — so for those the warmth benefits the
+        in-process paths only.)
+        """
+        self._check_open()
+        graph = self.load(dataset)
+        plan = ExperimentPlan(
+            eps=eps, bloom_bits=bits, kmv_k=kmv_k,
+            bloom_shared_bits=shared_bits, bloom_fpr=fpr,
+        )
+        for backend in backends:
+            cls = self._backend_for(plan, dataset, backend, graph)
+            self.cache.set_graph(graph, cls)
+            for name in orderings:
+                name = resolve_ordering_name(name)
+                kwargs = {"eps": eps} if name == "ADG" else {}
+                self.cache.oriented(graph, cls, name, **kwargs)
+
+    # -- backend resolution -------------------------------------------------
+
+    def _backend_for(self, plan: ExperimentPlan, dataset: str,
+                     backend_name: str, graph: CSRGraph) -> Type[SetBase]:
+        """Budget-resolved set class, memoized per (graph, budgets).
+
+        Keyed by graph *identity*, not just the dataset name: budget
+        resolution depends on the graph's size and average degree, and
+        ``add_graph`` may re-bind a name to a different graph.  The memo
+        holds the graph itself, both to compare identity and to pin the
+        object so a recycled ``id()`` can never alias a stale entry.
+        """
+        key = (dataset, backend_name) + plan.budget_key()
+        memo = self._resolved.get(key)
+        if memo is not None and memo[0] is graph:
+            return memo[1]
+        cls = resolve_backend(plan, dataset, backend_name, graph)
+        self._resolved[key] = (graph, cls)
+        return cls
+
+    # -- resident pool ------------------------------------------------------
+
+    def _warm_payload(self) -> Tuple[bytes, frozenset]:
+        """Pickle the graph store + exportable materializations, once.
+
+        Returns the payload bytes and the set of dataset names it
+        actually carries.  Falls back to graphs-only, then to an empty
+        payload, if some session graph cannot cross the process boundary
+        — the pool still starts, workers just re-materialize locally, and
+        the shipped-set stays truthful so :meth:`_require_pool_dataset`
+        keeps failing fast for graphs the workers never received.
+        """
+        budget = self.cache_budget_bytes or None
+        with_state = {
+            name: (graph, self.cache.export_graph_state(graph), budget)
+            for name, graph in self._graphs.items()
+        }
+        graphs_only = {
+            name: (graph, None, budget)
+            for name, graph in self._graphs.items()
+        }
+        for candidate in (with_state, graphs_only, {}):
+            try:
+                return pickle.dumps(candidate), frozenset(candidate)
+            except Exception:
+                continue
+        return pickle.dumps({}), frozenset()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The resident pool — created (and pre-warmed) at most once."""
+        self._check_open()
+        if self._pool is None:
+            from .runner import _mp_context, _seed_worker
+
+            payload, shipped = self._warm_payload()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_mp_context(),
+                initializer=_seed_worker,
+                initargs=(payload,),
+            )
+            self.pool_starts += 1
+            self._shipped = shipped
+        return self._pool
+
+    def _require_pool_dataset(self, dataset: str) -> None:
+        """Fail fast when a pool worker could not obtain *dataset*.
+
+        Workers hold the graphs shipped at pool creation and can
+        self-load registry datasets; anything else — a custom graph added
+        (or a registry name shadowed by ``add_graph``) after the pool
+        started — would silently diverge or crash worker-side.
+        """
+        if dataset in self._shipped or dataset in DATASETS:
+            return
+        raise RuntimeError(
+            f"dataset {dataset!r} was not shipped to the resident pool "
+            f"(added after the pool started, or its graph could not be "
+            f"pickled into the warm payload); add picklable custom "
+            f"graphs before the first parallel request"
+        )
+
+    # -- query execution ----------------------------------------------------
+
+    def query(self, kernel: str, *, k: int = 4, eps: float = 0.1) -> Query:
+        """Start a fluent :class:`Query` for one suite kernel."""
+        self._check_open()
+        return Query(self, kernel, k=k, eps=eps)
+
+    def _result_from_cell(self, query: Query, cell: Dict[str, object],
+                          wall: float, delta: Snapshot,
+                          hits: int, misses: int) -> QueryResult:
+        return QueryResult(
+            kernel=cell["kernel"],
+            dataset=query._dataset,
+            backend=cell["set_class"],
+            resolved_class=cell["resolved_class"],
+            ordering=cell["ordering"],
+            value=cell["value"],
+            exact=cell["exact"],
+            seconds=cell["seconds"],
+            wall_seconds=wall,
+            counters=delta,
+            cache_hits=hits,
+            cache_misses=misses,
+            cell=cell,
+        )
+
+    def _run_query(self, query: Query) -> QueryResult:
+        """Answer one query in-process against the shared session cache."""
+        self._check_open()
+        plan = query.plan()
+        dataset = query._dataset
+        graph = self.load(dataset)
+        backend_name, kernel_name, ordering = query.cell_spec()
+        set_cls = self._backend_for(plan, dataset, backend_name, graph)
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        before = _counters.snapshot()
+        t0 = time.perf_counter()
+        cell = run_cell(
+            graph, set_cls, SUITE_KERNELS[kernel_name], backend_name,
+            ordering, plan, self.cache,
+        )
+        wall = time.perf_counter() - t0
+        delta = before.delta(_counters.snapshot())
+        self.queries_run += 1
+        return self._result_from_cell(
+            query, cell, wall, delta,
+            self.cache.hits - hits0, self.cache.misses - misses0,
+        )
+
+    def _run_batch(self, queries: Sequence[Query]) -> List[QueryResult]:
+        """Answer a batch — through the resident pool when workers > 1."""
+        self._check_open()
+        if self.workers <= 1 or not queries:
+            return [self._run_query(q) for q in queries]
+        from .runner import _run_shard, accumulate_cache_stats
+
+        pool = self._ensure_pool()
+        # Validate the whole batch before the first submission: a bad
+        # variant must fail the batch up front, not after earlier
+        # variants' shards (and their counter deltas) are already in
+        # flight and would be silently abandoned.
+        compiled = []
+        for query in queries:
+            plan = query.plan()
+            self._require_pool_dataset(query._dataset)
+            compiled.append((query, plan))
+        t0 = time.perf_counter()
+        submitted = []
+        done_at: Dict[int, float] = {}
+        for index, (query, plan) in enumerate(compiled):
+            future = pool.submit(_run_shard, plan, query._dataset,
+                                 [(0, query.cell_spec())])
+            # Stamp completion as it happens — collecting futures in
+            # submission order below would otherwise charge early
+            # finishers with their predecessors' wait time.
+            future.add_done_callback(
+                lambda _f, i=index: done_at.setdefault(
+                    i, time.perf_counter()
+                )
+            )
+            submitted.append((query, future))
+        results: List[QueryResult] = []
+        deltas: List[Snapshot] = []
+        for index, (query, future) in enumerate(submitted):
+            shard = future.result()
+            wall = done_at.get(index, time.perf_counter()) - t0
+            deltas.append(shard["counters"])
+            accumulate_cache_stats(
+                self._worker_cache_stats, shard["pid"],
+                shard["cache_stats"],
+            )
+            (_, cell), = shard["cells"]
+            results.append(self._result_from_cell(
+                query, cell, wall, shard["counters"], 0, 0,
+            ))
+        # One associative merge, folded into this process's global block —
+        # the session totals come out identical to a sequential run of the
+        # same batch, whatever the completion order.
+        _counters.COUNTERS.absorb(merge_snapshots(deltas))
+        self.queries_run += len(queries)
+        return results
+
+    # -- plan execution (the suite path) ------------------------------------
+
+    def run_plan(self, plan: ExperimentPlan,
+                 verbose: Optional[bool] = None) -> List[Dict[str, object]]:
+        """Execute a declarative :class:`ExperimentPlan` through the session.
+
+        The session's execution knobs (``workers``/``schedule``/
+        ``cache_budget_bytes``) govern — the plan's own are replaced, so
+        one session applies a single execution policy to every plan it
+        serves.  Sequential plans run against the shared session cache;
+        parallel plans run on the resident pool.  Either way the
+        artifact's ``materialization`` block reports only *this run's*
+        cache deltas (gauges instantaneous), so a warm re-run shows hits
+        without inheriting earlier runs' counts; payloads are
+        cell-by-cell identical to the historical ``run_suite`` ones up to
+        timing and materialization stats.
+        """
+        self._check_open()
+        verbose = self.verbose if verbose is None else verbose
+        plan.validate_execution()
+        plan = replace(
+            plan, workers=self.workers, schedule=self.schedule,
+            cache_budget_bytes=self.cache_budget_bytes,
+        )
+        if self.workers > 1:
+            from .runner import run_plan_on_pool
+
+            pool = self._ensure_pool()
+            for dataset in plan.datasets:
+                self._require_pool_dataset(dataset)
+            payloads = [
+                run_plan_on_pool(pool, plan, dataset, verbose=verbose,
+                                 worker_stats=self._worker_cache_stats)
+                for dataset in plan.datasets
+            ]
+            self.plans_run += 1
+            return payloads
+
+        payloads: List[Dict[str, object]] = []
+        for dataset in plan.datasets:
+            graph = self.load(dataset)
+            stats_baseline = self.cache.stats()
+            cells: List[Dict[str, object]] = []
+            t0 = time.perf_counter()
+            for backend_name, kernel_name, ordering in expand_cells(plan):
+                set_cls = self._backend_for(plan, dataset, backend_name,
+                                            graph)
+                cell = run_cell(
+                    graph, set_cls, SUITE_KERNELS[kernel_name],
+                    backend_name, ordering, plan, self.cache,
+                )
+                cells.append(cell)
+                if verbose:
+                    print(
+                        f"  {dataset} {cell['kernel']:<9} "
+                        f"{cell['ordering']:<4} {backend_name:<10} "
+                        f"value={cell['value']} "
+                        f"({1000 * cell['seconds']:.1f} ms)"
+                    )
+            measured = time.perf_counter() - t0
+            payloads.append(dataset_payload(
+                plan, dataset, graph.num_nodes, graph.num_edges, cells,
+                self.cache.stats_since(stats_baseline), measured,
+                workers=1, schedule="sequential",
+            ))
+        self.plans_run += 1
+        return payloads
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def counters(self) -> Snapshot:
+        """Merged set-algebra counters across everything this session ran.
+
+        Pool workers' deltas are folded into the parent's global block as
+        batches/plans complete, so this covers them too.
+        """
+        return self._baseline.delta(_counters.snapshot())
+
+    def stats(self) -> Dict[str, object]:
+        """Session-level stats: cache, counters, pool, and traffic."""
+        counters = self.counters
+        worker_stats = {
+            field_: sum(s[field_] for s in self._worker_cache_stats.values())
+            for field_ in ("hits", "misses", "evictions")
+        } if self._worker_cache_stats else None
+        return {
+            "cache": self.cache.stats(),
+            "worker_caches": worker_stats,
+            "counters": {
+                "set_ops": counters.set_ops,
+                "point_ops": counters.point_ops,
+                "sketch_builds": counters.sketch_builds,
+                "memory_traffic": counters.memory_traffic,
+            },
+            "pool": {
+                "workers": self.workers,
+                "schedule": self.schedule,
+                "starts": self.pool_starts,
+                "resident": self._pool is not None,
+            },
+            "graphs": self.graphs(),
+            "queries": self.queries_run,
+            "plans": self.plans_run,
+            "closed": self._closed,
+        }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"MiningSession(workers={self.workers}, "
+            f"schedule={self.schedule!r}, graphs={len(self._graphs)}, "
+            f"queries={self.queries_run}, {state})"
+        )

@@ -25,19 +25,20 @@ Building blocks
     (per-process :class:`~repro.graph.set_graph.MaterializationCache` LRU
     budget).  Budget flags carry the same semantics as the shared CLI
     parser and are resolved per graph through
-    :meth:`repro.platform.cli.Args.resolve_set_class_for_graph`.
+    :func:`repro.platform.cli.resolve_set_class_for_graph`.
 
 ``run_suite``
-    Executes the plan.  ``plan.workers <= 1`` runs cells sequentially
-    in-process; ``plan.workers > 1`` delegates to the sharded
-    process-pool runner (:mod:`repro.platform.runner`), which produces a
-    cell-by-cell identical artifact up to timing.  Per dataset (and, in
-    parallel mode, per worker process) one
-    :class:`~repro.graph.set_graph.MaterializationCache` serves all local
-    cells; per cell the suite meters wall time and the set-algebra
-    software counters (:mod:`repro.core.counters`).  Exact backends are
-    cross-checked against the reference backend — any disagreement fails
-    the run.
+    Deprecated shim over the session path: a
+    :class:`~repro.platform.session.MiningSession` matching the plan's
+    execution knobs runs the plan and closes.  ``plan.workers <= 1`` runs
+    cells sequentially in-process against the session cache;
+    ``plan.workers > 1`` shards them over the session's process pool
+    (:mod:`repro.platform.runner`), producing a cell-by-cell identical
+    artifact up to timing.  Per cell the suite meters wall time and the
+    set-algebra software counters (:mod:`repro.core.counters`).  Exact
+    backends are cross-checked against the reference backend — any
+    disagreement fails the run.  Hold a session yourself to keep caches
+    and the pool warm across plans.
 
 Artifact schema (``results/suite_<dataset>.json``, ``gms-suite/v2``)
 --------------------------------------------------------------------
@@ -52,7 +53,13 @@ One JSON object per dataset::
       "reference_backend": "sorted",
       "materialization": {hits, misses, evictions, orderings, set_graphs,
                           oriented, resident_bytes, budget_bytes},
-                               # parallel runs: summed over the pool's
+                               # THIS run's cache deltas (hit/miss/
+                               # insertion/eviction counters since the
+                               # run started; entry/byte gauges
+                               # instantaneous) — a warm re-run on a
+                               # long-lived session/pool shows hits
+                               # without inheriting earlier runs' counts.
+                               # Parallel runs: summed over the pool's
                                # per-process caches, plus "workers"
       "counters": {set_ops, point_ops, sketch_builds, memory_traffic},
                                # merge of the per-cell deltas — shard-
@@ -118,6 +125,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 from dataclasses import asdict, dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
@@ -125,7 +133,6 @@ from ..core import counters as _counters
 from ..core.bit_set import BitSet
 from ..core.interface import SetBase
 from ..core.registry import set_class_names
-from ..graph import load_dataset
 from ..graph.csr import CSRGraph
 from ..graph.set_graph import MaterializationCache
 from ..mining.bronkerbosch import bron_kerbosch
@@ -138,7 +145,12 @@ from ..mining.triangles import (
 from ..preprocess.ordering import ORDERINGS
 from ..runtime.scheduler import SCHEDULER_POLICIES, simulate_makespan
 from .bench import print_table, write_artifact
-from .cli import RUNNER_SCHEDULES, Args, add_parallel_args, add_sketch_budget_args
+from .cli import (
+    RUNNER_SCHEDULES,
+    add_parallel_args,
+    add_sketch_budget_args,
+    resolve_set_class_for_graph,
+)
 
 __all__ = [
     "SCHEMA",
@@ -152,6 +164,7 @@ __all__ = [
     "resolve_backend",
     "dataset_payload",
     "run_suite",
+    "report_payloads",
     "main",
 ]
 
@@ -325,6 +338,16 @@ class ExperimentPlan:
             )
         return list(names)
 
+    def budget_key(self) -> Tuple[int, int, int, float]:
+        """The sketch-budget knobs that backend resolution depends on.
+
+        Memoized backend resolution — in the session and in the pool
+        workers — keys on this tuple so a class resolved under one budget
+        never serves a request made under another.
+        """
+        return (self.bloom_bits, self.kmv_k, self.bloom_shared_bits,
+                self.bloom_fpr)
+
     def validate_execution(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
@@ -378,14 +401,12 @@ def resolve_backend(
     plan: ExperimentPlan, dataset: str, backend_name: str, graph: CSRGraph
 ) -> Type[SetBase]:
     """Resolve one backend name under the plan's sketch budgets."""
-    args = Args(
-        dataset=dataset, set_class=backend_name, eps=plan.eps,
-        k=plan.k, repeats=plan.repeats,
+    return resolve_set_class_for_graph(
+        graph, backend_name,
         bloom_bits=plan.bloom_bits, kmv_k=plan.kmv_k,
         bloom_shared_bits=plan.bloom_shared_bits,
         bloom_fpr=plan.bloom_fpr,
     )
-    return args.resolve_set_class_for_graph(graph)
 
 
 def _normalize_result(raw: object) -> Tuple[int, Dict[str, object]]:
@@ -526,54 +547,28 @@ def dataset_payload(
 def run_suite(
     plan: ExperimentPlan, verbose: bool = False
 ) -> List[Dict[str, object]]:
-    """Execute *plan*; return one artifact payload per dataset.
+    """Deprecated shim: execute *plan* through a throwaway session.
 
-    ``plan.workers > 1`` delegates to the sharded process-pool runner
-    (:func:`repro.platform.runner.run_suite_parallel`); its artifact is
-    cell-by-cell identical to the sequential one up to timing fields.
-    Sequentially, one shared per-dataset
-    :class:`~repro.graph.set_graph.MaterializationCache` (bounded by
-    ``plan.cache_budget_bytes`` when nonzero) serves all cells, so each
-    (backend, ordering) materialization happens exactly once; the cache
-    hit/miss/eviction stats land in the artifact.
+    The canonical path is :meth:`repro.platform.session.MiningSession.
+    run_plan`, which keeps the materialization cache and the resident
+    worker pool alive *across* plans.  This shim opens a session matching
+    the plan's execution knobs, runs the plan, and closes it — the
+    artifact payloads are ``suite-diff``-identical to the session path
+    (they *are* the session path), it just forfeits all cross-request
+    reuse.  Long-lived callers should hold a
+    :class:`~repro.platform.session.MiningSession` instead.
     """
-    plan.validate_execution()
-    if plan.workers > 1:
-        from .runner import run_suite_parallel
+    warnings.warn(
+        "run_suite is deprecated; use "
+        "repro.platform.session.MiningSession.run_plan so caches and the "
+        "resident worker pool survive across plans",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .session import MiningSession
 
-        return run_suite_parallel(plan, verbose=verbose)
-
-    payloads: List[Dict[str, object]] = []
-    for dataset in plan.datasets:
-        graph = load_dataset(dataset)
-        cache = MaterializationCache(
-            budget_bytes=plan.cache_budget_bytes or None
-        )
-        resolved: Dict[str, Type[SetBase]] = {}
-        cells: List[Dict[str, object]] = []
-        t0 = time.perf_counter()
-        for backend_name, kernel_name, ordering in expand_cells(plan):
-            if backend_name not in resolved:
-                resolved[backend_name] = resolve_backend(
-                    plan, dataset, backend_name, graph
-                )
-            cell = run_cell(
-                graph, resolved[backend_name], SUITE_KERNELS[kernel_name],
-                backend_name, ordering, plan, cache,
-            )
-            cells.append(cell)
-            if verbose:
-                print(
-                    f"  {dataset} {cell['kernel']:<9} {cell['ordering']:<4} "
-                    f"{backend_name:<10} value={cell['value']} "
-                    f"({1000 * cell['seconds']:.1f} ms)"
-                )
-        measured = time.perf_counter() - t0
-        payloads.append(dataset_payload(
-            plan, dataset, graph.num_nodes, graph.num_edges, cells,
-            cache.stats(), measured, workers=1, schedule="sequential",
-        ))
-    return payloads
+    with MiningSession.from_plan(plan, verbose=verbose) as session:
+        return session.run_plan(plan, verbose=verbose)
 
 
 def _print_payload(payload: Dict[str, object]) -> None:
@@ -686,11 +681,13 @@ def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for ``python -m repro suite``."""
-    ns = build_suite_parser().parse_args(argv)
-    plan = _plan_from_namespace(ns)
-    payloads = run_suite(plan, verbose=ns.verbose)
+def report_payloads(payloads: List[Dict[str, object]]) -> int:
+    """Print, persist, and cross-check suite payloads; return mismatches.
+
+    Shared by ``python -m repro suite`` and the session REPL
+    (``python -m repro serve``) so both emit the identical artifact and
+    apply the identical exact-backend gate.
+    """
     bad = 0
     for payload in payloads:
         _print_payload(payload)
@@ -705,4 +702,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
         bad += len(mismatches)
-    return 1 if bad else 0
+    return bad
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro suite`` — a thin session client."""
+    from .session import MiningSession
+
+    ns = build_suite_parser().parse_args(argv)
+    plan = _plan_from_namespace(ns)
+    plan.validate_execution()
+    with MiningSession.from_plan(plan, verbose=ns.verbose) as session:
+        payloads = session.run_plan(plan, verbose=ns.verbose)
+    return 1 if report_payloads(payloads) else 0

@@ -1,0 +1,84 @@
+"""Deprecation shims over the session path (the API-migration contract).
+
+``run_suite`` and ``Args.resolve_set_class_for_graph`` keep working but
+warn: the first now routes through a throwaway
+:class:`~repro.platform.session.MiningSession`, the second through the
+module-level :func:`~repro.platform.cli.resolve_set_class_for_graph`.
+The regression pinned here is the migration promise itself — the shim
+paths produce artifacts and resolved classes *identical* (suite-diff /
+``is``) to the session path.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.graph import load_dataset
+from repro.platform.cli import Args, resolve_set_class_for_graph
+from repro.platform.runner import diff_payloads
+from repro.platform.session import MiningSession
+from repro.platform.suite import ExperimentPlan, run_suite
+
+PLAN = ExperimentPlan(
+    datasets=("sc-ht-mini",),
+    kernels=("tc", "bk"),
+    set_classes=("bitset", "bloom"),
+    orderings=("DGR",),
+    repeats=1,
+)
+
+
+class TestRunSuiteShim:
+    def test_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="run_suite is deprecated"):
+            run_suite(PLAN)
+
+    def test_shim_artifact_suite_diff_identical_to_session_path(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim_payload = run_suite(PLAN)[0]
+        with MiningSession.from_plan(PLAN) as session:
+            session_payload = session.run_plan(PLAN)[0]
+        assert diff_payloads(shim_payload, session_payload) == []
+
+    def test_shim_still_validates_execution(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="workers"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                run_suite(replace(PLAN, workers=0))
+
+
+class TestResolveShim:
+    def test_warns_deprecation_and_delegates(self):
+        graph = load_dataset("sc-ht-mini")
+        args = Args(set_class="bloom", bloom_shared_bits=64 * 300)
+        with pytest.warns(DeprecationWarning,
+                          match="resolve_set_class_for_graph"):
+            shim_cls = args.resolve_set_class_for_graph(graph)
+        direct_cls = resolve_set_class_for_graph(
+            graph, "bloom", bloom_shared_bits=64 * 300
+        )
+        # Same factory, same parameters — the classes agree exactly.
+        assert shim_cls.__name__ == direct_cls.__name__
+        assert shim_cls.SHARED_BITS == direct_cls.SHARED_BITS
+
+    def test_plain_resolution_identical(self):
+        graph = load_dataset("sc-ht-mini")
+        for name in ("sorted", "bitset", "roaring", "hash"):
+            with pytest.warns(DeprecationWarning):
+                shim_cls = Args(set_class=name).resolve_set_class_for_graph(
+                    graph)
+            assert shim_cls is resolve_set_class_for_graph(graph, name)
+
+    def test_fpr_auto_sizing_identical(self):
+        graph = load_dataset("sc-ht-mini")
+        args = Args(set_class="bloom", bloom_fpr=0.02)
+        with pytest.warns(DeprecationWarning):
+            shim_cls = args.resolve_set_class_for_graph(graph)
+        direct_cls = resolve_set_class_for_graph(graph, "bloom",
+                                                 bloom_fpr=0.02)
+        assert shim_cls.SHARED_BITS == direct_cls.SHARED_BITS
