@@ -20,6 +20,7 @@ import numpy as np
 
 from .counters import COUNTERS
 from .interface import SetBase
+from .ops import as_sorted_unique
 
 __all__ = ["BitSet"]
 
@@ -44,7 +45,11 @@ class BitSet(SetBase):
 
     @classmethod
     def from_sorted_array(cls, array: np.ndarray) -> "BitSet":
-        arr = np.asarray(array, dtype=np.int64)
+        # Validate-or-sort first: the byte-buffer size below is read off
+        # ``arr[-1]``, which is only the maximum when the array is sorted —
+        # an unsorted input used to index past the buffer (or, with a large
+        # element last, silently allocate for the wrong universe).
+        arr = as_sorted_unique(array)
         if len(arr) == 0:
             return cls(0)
         # Pack via numpy: build a byte buffer with the relevant bits set.
@@ -61,15 +66,22 @@ class BitSet(SetBase):
     def _words(self) -> int:
         return (self._bits.bit_length() + _WORD_BITS - 1) // _WORD_BITS
 
+    def _record(self, b: "BitSet", written: int) -> None:
+        # Normalized units: elements (cardinalities), like every other
+        # backend — the old word-based recording made BitSet cells
+        # incomparable.  The word-level cost moves to the scan attribution.
+        COUNTERS.record_bulk(self.cardinality() + b.cardinality(), written)
+        COUNTERS.record_scan("bitset", self._words() + b._words())
+
     def intersect(self, other: SetBase) -> "BitSet":
         b = self._coerce(other)
         out = self._bits & b._bits
-        COUNTERS.record_bulk(self._words() + b._words(), _word_count(out))
+        self._record(b, out.bit_count())
         return BitSet(out)
 
     def intersect_count(self, other: SetBase) -> int:
         b = self._coerce(other)
-        COUNTERS.record_bulk(self._words() + b._words(), 0)
+        self._record(b, 0)
         return (self._bits & b._bits).bit_count()
 
     def intersect_inplace(self, other: SetBase) -> None:
@@ -77,19 +89,26 @@ class BitSet(SetBase):
         # default): one big-int AND, rebound onto this set's payload.
         b = self._coerce(other)
         out = self._bits & b._bits
-        COUNTERS.record_bulk(self._words() + b._words(), _word_count(out))
+        self._record(b, out.bit_count())
+        self._bits = out
+
+    def intersect_assign(self, a: SetBase, b: SetBase) -> None:
+        # Fused A = a ∩ b: one big-int AND straight into this payload.
+        ca, cb = self._coerce(a), self._coerce(b)
+        out = ca._bits & cb._bits
+        ca._record(cb, out.bit_count())
         self._bits = out
 
     def union(self, other: SetBase) -> "BitSet":
         b = self._coerce(other)
         out = self._bits | b._bits
-        COUNTERS.record_bulk(self._words() + b._words(), _word_count(out))
+        self._record(b, out.bit_count())
         return BitSet(out)
 
     def diff(self, other: SetBase) -> "BitSet":
         b = self._coerce(other)
         out = self._bits & ~b._bits
-        COUNTERS.record_bulk(self._words() + b._words(), _word_count(out))
+        self._record(b, out.bit_count())
         return BitSet(out)
 
     def contains(self, element: int) -> bool:
@@ -98,11 +117,17 @@ class BitSet(SetBase):
 
     def add(self, element: int) -> None:
         COUNTERS.record_point()
-        self._bits |= 1 << element
+        bit = 1 << element
+        if not self._bits & bit:
+            self._bits |= bit
+            COUNTERS.elements_written += 1
 
     def remove(self, element: int) -> None:
         COUNTERS.record_point()
-        self._bits &= ~(1 << element)
+        bit = 1 << element
+        if self._bits & bit:
+            self._bits &= ~bit
+            COUNTERS.elements_written += 1
 
     def cardinality(self) -> int:
         return self._bits.bit_count()

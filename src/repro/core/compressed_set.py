@@ -22,6 +22,7 @@ from ..compress.gap import gap_decode, gap_encode
 from ..compress.varint import decode_array, encode_array
 from .counters import COUNTERS
 from .interface import SetBase
+from .ops import as_sorted_unique
 
 __all__ = ["CompressedSortedSet"]
 
@@ -44,7 +45,9 @@ class CompressedSortedSet(SetBase):
 
     @classmethod
     def from_sorted_array(cls, array: np.ndarray) -> "CompressedSortedSet":
-        arr = np.asarray(array, dtype=np.int64)
+        # Validate-or-sort: gap encoding silently assumes sortedness, so an
+        # unsorted or duplicated input must be normalized first.
+        arr = as_sorted_unique(array)
         out = cls(encode_array(gap_encode(arr)), len(arr))
         out._cache = arr.copy()
         return out
@@ -103,6 +106,7 @@ class CompressedSortedSet(SetBase):
         if idx < len(arr) and arr[idx] == element:
             return
         self._recompress(np.insert(arr, idx, element))
+        COUNTERS.elements_written += 1
 
     def remove(self, element: int) -> None:
         COUNTERS.record_point()
@@ -110,6 +114,7 @@ class CompressedSortedSet(SetBase):
         idx = int(np.searchsorted(arr, element))
         if idx < len(arr) and arr[idx] == element:
             self._recompress(np.delete(arr, idx))
+            COUNTERS.elements_written += 1
 
     def cardinality(self) -> int:
         return self._count

@@ -9,6 +9,21 @@ words read) and how many it produced (a proxy for words written).  The
 PAPI-flavoured quantities used by the paper's machine-efficiency analysis
 (section 8.8), e.g. simulated stalled CPU cycles.
 
+Counter units (normative)
+-------------------------
+``elements_read``/``elements_written`` count **elements** (set members), a
+representation-independent unit: every backend records ``|A| + |B|`` reads
+per bulk operation and ``|result|`` writes for materializing operations
+(``*_count`` operations write nothing); a point operation records one
+read, plus one write when it actually modifies the set (``add`` of an
+absent element, ``remove`` of a present one).  Identical operation sequences on
+identical inputs therefore produce identical deltas across all exact
+backends — the property the cross-backend regression tests pin.
+Representation-specific cost (how many machine words a kernel actually
+scanned) is attributed separately, per organization/algorithm, in
+``words_scanned`` — e.g. a dense-bitmap intersection over a sparse set
+scans many words per element, a galloping probe scans ``log`` many.
+
 The counters are global on purpose: they mirror how PAPI instruments a whole
 parallel region rather than a single data structure.  Use
 :func:`snapshot` / :func:`Snapshot.delta` to meter a region.
@@ -16,7 +31,8 @@ parallel region rather than a single data structure.  Use
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
 
 
 class Counters:
@@ -30,6 +46,7 @@ class Counters:
         Number of fine-grained operations (``contains``, ``add``, ``remove``).
     elements_read:
         Elements touched as operation inputs — the memory-read proxy.
+        Always cardinalities (see the module docstring), never words.
     elements_written:
         Elements materialized as operation outputs — the memory-write proxy.
     sketch_builds:
@@ -37,10 +54,16 @@ class Counters:
         KMV signature hashes) — the metric behind the incremental-pivot
         regression tests: maintaining a sketch incrementally must not
         rebuild it from scratch once per recursive call.
+    words_scanned:
+        Machine words (8-byte units) scanned per set organization /
+        algorithm, e.g. ``{"sorted/merge": 812, "adaptive/bitmap": 96}``.
+        This is where representation-specific cost lives, so the ablation
+        benchmark can attribute cycles to organizations while
+        ``elements_read`` stays comparable across backends.
     """
 
     __slots__ = ("set_ops", "point_ops", "elements_read", "elements_written",
-                 "sketch_builds")
+                 "sketch_builds", "words_scanned")
 
     def __init__(self) -> None:
         self.reset()
@@ -52,8 +75,9 @@ class Counters:
         self.elements_read = 0
         self.elements_written = 0
         self.sketch_builds = 0
+        self.words_scanned: Dict[str, int] = {}
 
-    # The two record methods are deliberately tiny: they sit on the hot path
+    # The record methods are deliberately tiny: they sit on the hot path
     # of every set operation.
     def record_bulk(self, read: int, written: int) -> None:
         """Record one bulk set operation touching *read* inputs."""
@@ -70,6 +94,11 @@ class Counters:
         """Record one from-scratch sketch construction (full member hash)."""
         self.sketch_builds += 1
 
+    def record_scan(self, organization: str, words: int) -> None:
+        """Attribute *words* machine words scanned to *organization*."""
+        scans = self.words_scanned
+        scans[organization] = scans.get(organization, 0) + words
+
     def absorb(self, delta: "Snapshot") -> None:
         """Fold a :class:`Snapshot` delta into this block.
 
@@ -83,6 +112,8 @@ class Counters:
         self.elements_read += delta.elements_read
         self.elements_written += delta.elements_written
         self.sketch_builds += delta.sketch_builds
+        for organization, words in delta.words_scanned.items():
+            self.record_scan(organization, words)
 
     @property
     def memory_traffic(self) -> int:
@@ -90,33 +121,53 @@ class Counters:
         return self.elements_read + self.elements_written
 
 
+def _merge_scans(a: Mapping[str, int], b: Mapping[str, int]) -> Dict[str, int]:
+    merged = dict(a)
+    for organization, words in b.items():
+        merged[organization] = merged.get(organization, 0) + words
+    return merged
+
+
 @dataclass(frozen=True)
 class Snapshot:
-    """Immutable copy of the counter block at one instant."""
+    """Immutable copy of the counter block at one instant.
+
+    ``words_scanned`` deltas/merges are per-key integer arithmetic, so the
+    associativity and commutativity laws the parallel runner relies on
+    extend to the attribution dict unchanged.
+    """
 
     set_ops: int
     point_ops: int
     elements_read: int
     elements_written: int
     sketch_builds: int = 0
+    words_scanned: Mapping[str, int] = field(default_factory=dict)
 
     def delta(self, later: "Snapshot") -> "Snapshot":
         """Return the counter increments between ``self`` and *later*."""
+        scans = {
+            organization: words - self.words_scanned.get(organization, 0)
+            for organization, words in later.words_scanned.items()
+            if words != self.words_scanned.get(organization, 0)
+        }
         return Snapshot(
             set_ops=later.set_ops - self.set_ops,
             point_ops=later.point_ops - self.point_ops,
             elements_read=later.elements_read - self.elements_read,
             elements_written=later.elements_written - self.elements_written,
             sketch_builds=later.sketch_builds - self.sketch_builds,
+            words_scanned=scans,
         )
 
     def merge(self, other: "Snapshot") -> "Snapshot":
         """Elementwise sum of two deltas.
 
         Merging is associative and commutative (it is integer addition per
-        field), which is what makes sharded execution safe: the merge of
-        per-worker deltas equals the sequential totals regardless of how
-        the cells were chunked or in which order the shards complete.
+        field, and per key for ``words_scanned``), which is what makes
+        sharded execution safe: the merge of per-worker deltas equals the
+        sequential totals regardless of how the cells were chunked or in
+        which order the shards complete.
         """
         return Snapshot(
             set_ops=self.set_ops + other.set_ops,
@@ -124,6 +175,8 @@ class Snapshot:
             elements_read=self.elements_read + other.elements_read,
             elements_written=self.elements_written + other.elements_written,
             sketch_builds=self.sketch_builds + other.sketch_builds,
+            words_scanned=_merge_scans(self.words_scanned,
+                                       other.words_scanned),
         )
 
     __add__ = merge
@@ -150,6 +203,7 @@ def snapshot() -> Snapshot:
         elements_read=COUNTERS.elements_read,
         elements_written=COUNTERS.elements_written,
         sketch_builds=COUNTERS.sketch_builds,
+        words_scanned=dict(COUNTERS.words_scanned),
     )
 
 

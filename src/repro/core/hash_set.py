@@ -71,11 +71,17 @@ class HashSet(SetBase):
 
     def add(self, element: int) -> None:
         COUNTERS.record_point()
-        self._data.add(int(element))
+        element = int(element)
+        if element not in self._data:
+            self._data.add(element)
+            COUNTERS.elements_written += 1
 
     def remove(self, element: int) -> None:
         COUNTERS.record_point()
-        self._data.discard(int(element))
+        element = int(element)
+        if element in self._data:
+            self._data.discard(element)
+            COUNTERS.elements_written += 1
 
     def cardinality(self) -> int:
         return len(self._data)

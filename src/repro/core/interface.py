@@ -157,6 +157,20 @@ class SetBase(ABC):
         """Update ``A = A \\ B``."""
         self._replace_with(self.diff(other))
 
+    def intersect_assign(self, a: "SetBase", b: "SetBase") -> None:
+        """Update ``self = a ∩ b`` — the fused form of
+        ``assign(a); intersect_inplace(b)``.
+
+        The kClist-style kernels refill a per-level scratch set from the
+        parent candidates and immediately shrink it against a neighborhood;
+        fusing the two steps lets backends skip materializing the
+        intermediate copy of ``a``.  The default is the unfused pair, so
+        the fusion is purely an optimization hook — counter recording and
+        results are identical either way.
+        """
+        self.assign(a)
+        self.intersect_inplace(b)
+
     def diff_element(self, element: int) -> "SetBase":
         """Return a new set ``A \\ {element}`` (Listing 1 overload)."""
         result = self.clone()

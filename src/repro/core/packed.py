@@ -1,0 +1,130 @@
+"""Vectorized bitmap kernels over packed ``np.uint64`` words.
+
+SISA's dense set organization: a neighborhood over universe ``{0..U-1}``
+packs into ``⌈U/64⌉`` machine words, and intersection/difference/count
+become word-parallel ``AND``/``ANDNOT``/popcount loops.  The big-int
+:class:`~repro.core.bit_set.BitSet` realizes the same idea through CPython
+limb arithmetic; these kernels are the *array* form — operating directly
+on ``np.uint64`` buffers so the adaptive dispatch layer
+(:mod:`repro.core.dispatch`) can mix them with sorted-array kernels
+without crossing into Python integers and back.
+
+All kernels treat a word array of length ``W`` as the set of bit positions
+``{64·i + j : words[i] >> j & 1}``; trailing zero words are harmless, so
+operands of different lengths compose by truncation (AND) or zero-extension
+(OR/ANDNOT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_needed",
+    "pack_sorted",
+    "unpack",
+    "popcount",
+    "intersect_words",
+    "intersect_count_words",
+    "union_words",
+    "diff_words",
+    "member_mask_words",
+]
+
+WORD_BITS = 64
+
+_ONE = np.uint64(1)
+_EMPTY_WORDS = np.empty(0, dtype=np.uint64)
+
+# numpy >= 2.0 has a native vectorized popcount; keep an 8-bit-LUT
+# fallback so the kernels stay importable on older runtimes.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
+                      dtype=np.uint64)
+
+
+def words_needed(max_element: int) -> int:
+    """Number of 64-bit words covering ``{0..max_element}``."""
+    return (int(max_element) >> 6) + 1
+
+
+def pack_sorted(arr: np.ndarray, n_words: int | None = None) -> np.ndarray:
+    """Pack a sorted unique non-negative ``int64`` array into words."""
+    if len(arr) == 0:
+        return (np.zeros(n_words, dtype=np.uint64)
+                if n_words else _EMPTY_WORDS.copy())
+    if n_words is None:
+        n_words = words_needed(int(arr[-1]))
+    bits = np.zeros(n_words * WORD_BITS, dtype=bool)
+    bits[arr] = True
+    return np.packbits(bits, bitorder="little").view(np.uint64)
+
+
+def unpack(words: np.ndarray) -> np.ndarray:
+    """Unpack words back into a sorted unique ``int64`` array."""
+    if len(words) == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+    return np.nonzero(bits)[0].astype(np.int64)
+
+
+if _HAS_BITWISE_COUNT:
+    def popcount(words: np.ndarray) -> int:
+        """Total number of set bits across the word array."""
+        return int(np.bitwise_count(words).sum())
+else:
+    def popcount(words: np.ndarray) -> int:
+        """Total number of set bits across the word array (LUT fallback)."""
+        return int(_POPCOUNT8[words.view(np.uint8)].sum())
+
+
+def intersect_words(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Word-parallel ``AND`` — truncates to the shorter operand."""
+    m = min(len(a), len(b))
+    return a[:m] & b[:m]
+
+
+def intersect_count_words(a: np.ndarray, b: np.ndarray) -> int:
+    """``|A ∩ B|`` without materializing: fused ``AND`` + popcount."""
+    m = min(len(a), len(b))
+    return popcount(a[:m] & b[:m])
+
+
+def union_words(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Word-parallel ``OR`` — zero-extends to the longer operand."""
+    if len(a) < len(b):
+        a, b = b, a
+    out = a.copy()
+    np.bitwise_or(out[: len(b)], b, out=out[: len(b)])
+    return out
+
+
+def diff_words(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Word-parallel ``ANDNOT`` (``A \\ B``); ``b`` zero-extends."""
+    out = a.copy()
+    m = min(len(a), len(b))
+    np.bitwise_and(out[:m], np.bitwise_not(b[:m]), out=out[:m])
+    return out
+
+
+def member_mask_words(words: np.ndarray, arr: np.ndarray) -> np.ndarray:
+    """Boolean membership of each ``arr[i]`` in the packed bitmap.
+
+    ``O(|arr|)`` random-access probes — the bitvector-probe algorithm the
+    ops module's docstring promises for array × bitmap operand pairs.
+    """
+    if len(arr) == 0 or len(words) == 0:
+        return np.zeros(len(arr), dtype=bool)
+    idx = arr >> 6
+    shift = (arr & 63).astype(np.uint64)
+    if int(idx[-1]) < len(words):  # sorted input: last element is max
+        probed = words[idx]
+    else:
+        valid = idx < len(words)
+        out = np.zeros(len(arr), dtype=bool)
+        out[valid] = (
+            (words[idx[valid]] >> shift[valid]) & _ONE
+        ).astype(bool)
+        return out
+    return ((probed >> shift) & _ONE).astype(bool)

@@ -25,6 +25,7 @@ from typing import Dict, List, Type
 
 from .bit_set import BitSet
 from .compressed_set import CompressedSortedSet
+from .dispatch import AdaptiveSet
 from .hash_set import HashSet
 from .interface import SetBase
 from .roaring import RoaringSet
@@ -107,6 +108,7 @@ SET_CLASSES: Dict[str, Type[SetBase]] = _LazySetClassRegistry(
     roaring=RoaringSet,
     hash=HashSet,
     compressed=CompressedSortedSet,
+    adaptive=AdaptiveSet,
 )
 
 

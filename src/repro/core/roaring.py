@@ -26,6 +26,7 @@ import numpy as np
 
 from .counters import COUNTERS
 from .interface import SetBase
+from .ops import as_sorted_unique
 
 __all__ = ["RoaringSet", "ARRAY_CONTAINER_MAX"]
 
@@ -195,7 +196,10 @@ class RoaringSet(SetBase):
 
     @classmethod
     def from_sorted_array(cls, array: np.ndarray) -> "RoaringSet":
-        arr = np.asarray(array, dtype=np.int64)
+        # Validate-or-sort first: the chunk split below reads boundaries
+        # off ``np.diff(highs)``, so an unsorted input revisits high chunks
+        # and each revisit silently overwrites the previous container.
+        arr = as_sorted_unique(array)
         chunks: Dict[int, Container] = {}
         if len(arr) == 0:
             return cls(chunks)
@@ -209,9 +213,17 @@ class RoaringSet(SetBase):
         return cls(chunks)
 
     # -- core algebra ---------------------------------------------------
+    def _record_scan(self, b: "RoaringSet") -> None:
+        # Approximation: a bulk op walks both operands' containers once,
+        # so attribute their serialized footprint, in 8-byte words.
+        COUNTERS.record_scan(
+            "roaring", (self.storage_bytes() + b.storage_bytes() + 7) // 8
+        )
+
     def intersect(self, other: SetBase) -> "RoaringSet":
         b = self._coerce(other)
         COUNTERS.record_bulk(self.cardinality() + b.cardinality(), 0)
+        self._record_scan(b)
         out: Dict[int, Container] = {}
         small, large = (self, b) if len(self._chunks) <= len(b._chunks) else (b, self)
         for key, ca in small._chunks.items():
@@ -228,6 +240,7 @@ class RoaringSet(SetBase):
     def intersect_count(self, other: SetBase) -> int:
         b = self._coerce(other)
         COUNTERS.record_bulk(self.cardinality() + b.cardinality(), 0)
+        self._record_scan(b)
         total = 0
         small, large = (self, b) if len(self._chunks) <= len(b._chunks) else (b, self)
         for key, ca in small._chunks.items():
@@ -242,6 +255,7 @@ class RoaringSet(SetBase):
     def union(self, other: SetBase) -> "RoaringSet":
         b = self._coerce(other)
         COUNTERS.record_bulk(self.cardinality() + b.cardinality(), 0)
+        self._record_scan(b)
         out: Dict[int, Container] = {}
         for key in self._chunks.keys() | b._chunks.keys():
             ca = self._chunks.get(key)
@@ -261,6 +275,7 @@ class RoaringSet(SetBase):
     def diff(self, other: SetBase) -> "RoaringSet":
         b = self._coerce(other)
         COUNTERS.record_bulk(self.cardinality() + b.cardinality(), 0)
+        self._record_scan(b)
         out: Dict[int, Container] = {}
         for key, ca in self._chunks.items():
             cb = b._chunks.get(key)
@@ -288,10 +303,13 @@ class RoaringSet(SetBase):
         container = self._chunks.get(key)
         if container is None:
             self._chunks[key] = ("a", np.array([low], dtype=np.uint16))
+            COUNTERS.elements_written += 1
             return
         container = _densify(container)
         tag, payload = container
         if tag == "b":
+            if not (payload >> low) & 1:  # type: ignore[operator]
+                COUNTERS.elements_written += 1
             self._chunks[key] = ("b", payload | (1 << low))  # type: ignore[operator]
             return
         arr: np.ndarray = payload  # type: ignore[assignment]
@@ -301,6 +319,7 @@ class RoaringSet(SetBase):
             return
         new = np.insert(arr, idx, low)
         self._chunks[key] = _container_from_array(new)
+        COUNTERS.elements_written += 1
 
     def remove(self, element: int) -> None:
         COUNTERS.record_point()
@@ -312,6 +331,8 @@ class RoaringSet(SetBase):
         container = _densify(container)
         tag, payload = container
         if tag == "b":
+            if (payload >> low) & 1:  # type: ignore[operator]
+                COUNTERS.elements_written += 1
             bits = payload & ~(1 << low)  # type: ignore[operator]
             if bits:
                 self._chunks[key] = _container_from_bits(bits)
@@ -322,6 +343,7 @@ class RoaringSet(SetBase):
         idx = int(np.searchsorted(arr, low))
         if idx < len(arr) and arr[idx] == low:
             new = np.delete(arr, idx)
+            COUNTERS.elements_written += 1
             if len(new):
                 self._chunks[key] = ("a", new)
             else:

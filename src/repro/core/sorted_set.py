@@ -15,6 +15,7 @@ import numpy as np
 
 from .counters import COUNTERS
 from .interface import SetBase
+from .ops import as_sorted_unique
 
 __all__ = ["SortedSet"]
 
@@ -42,7 +43,10 @@ class SortedSet(SetBase):
 
     @classmethod
     def from_sorted_array(cls, array: np.ndarray) -> "SortedSet":
-        return cls(np.asarray(array, dtype=np.int64), _trusted=True)
+        # Validate-or-sort: an unsorted/duplicated input would silently
+        # break every merge kernel downstream (sortedness is the invariant
+        # they all binary-search against).
+        return cls(as_sorted_unique(array), _trusted=True)
 
     # -- core algebra ---------------------------------------------------
     def intersect(self, other: SetBase) -> "SortedSet":
@@ -63,6 +67,14 @@ class SortedSet(SetBase):
         b = self._coerce(other)
         out = _intersect_arrays(self._data, b._data)
         COUNTERS.record_bulk(len(self._data) + len(b._data), len(out))
+        self._data = out
+
+    def intersect_assign(self, a: SetBase, b: SetBase) -> None:
+        # Fused A = a ∩ b: intersect straight into this set's slot,
+        # skipping the copy of ``a`` the unfused assign would make.
+        ca, cb = self._coerce(a), self._coerce(b)
+        out = _intersect_arrays(ca._data, cb._data)
+        COUNTERS.record_bulk(len(ca._data) + len(cb._data), len(out))
         self._data = out
 
     def union(self, other: SetBase) -> "SortedSet":
@@ -133,7 +145,10 @@ def _intersect_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return _EMPTY
     small, large = (a, b) if len(a) <= len(b) else (b, a)
     if len(large) > 32 * len(small):
+        COUNTERS.record_scan("sorted/gallop",
+                             len(small) * max(1, len(large).bit_length()))
         idx = np.searchsorted(large, small)
         idx[idx == len(large)] = len(large) - 1
         return small[large[idx] == small]
+    COUNTERS.record_scan("sorted/merge", len(a) + len(b))
     return np.intersect1d(a, b, assume_unique=True)

@@ -95,6 +95,8 @@ class SetGraph:
         for s in self._neighborhoods:
             if isinstance(s, RoaringSet):
                 total += s.storage_bytes()
+            elif hasattr(s, "storage_bytes"):
+                total += s.storage_bytes()  # e.g. AdaptiveSet: array+bitmap
             elif hasattr(s, "storage_bits"):
                 total += s.storage_bits() // 8 + 1
             elif type(s).__name__ == "HashSet":
@@ -102,6 +104,22 @@ class SetGraph:
             else:
                 total += 8 * s.cardinality()
         return total
+
+    def representation_histogram(self) -> Dict[str, int]:
+        """How many neighborhoods live in each physical organization.
+
+        Representation-polymorphic backends (the adaptive dispatcher)
+        report per-set organizations via ``representation()``; uniform
+        backends count under their class name.  This is the observability
+        hook the ablation artifact uses to show the density policy's
+        actual bitmap/array split on a given graph.
+        """
+        hist: Dict[str, int] = {}
+        for s in self._neighborhoods:
+            rep = getattr(s, "representation", None)
+            name = rep() if callable(rep) else type(s).__name__
+            hist[name] = hist.get(name, 0) + 1
+        return hist
 
     def __repr__(self) -> str:
         return (

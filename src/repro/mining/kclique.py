@@ -73,10 +73,12 @@ def _count_rec(
     """kClist recursion over set algebra with per-level scratch reuse.
 
     Level ``i + 1``'s candidate set is ``scratch[i + 1]``, overwritten for
-    every sibling (``assign`` + ``intersect_inplace``); by the time level
-    ``i`` loops to its next candidate, the whole subtree below has
-    returned, so reuse is safe.  The innermost level is a pure
-    ``intersect_count`` — the hook where sketch backends estimate.
+    every sibling with the fused ``intersect_assign`` (backends skip the
+    intermediate copy the unfused ``assign`` + ``intersect_inplace`` pair
+    would make); by the time level ``i`` loops to its next candidate, the
+    whole subtree below has returned, so reuse is safe.  The innermost
+    level is a pure ``intersect_count`` — the hook where sketch backends
+    estimate.
     """
     if i == k:
         return candidates.cardinality()
@@ -88,8 +90,7 @@ def _count_rec(
     total = 0
     nxt = scratch[i + 1]
     for v in candidates.to_array().tolist():
-        nxt.assign(candidates)
-        nxt.intersect_inplace(dag[v])
+        nxt.intersect_assign(candidates, dag[v])
         if not nxt.is_empty():
             total += _count_rec(dag, i + 1, k, nxt, scratch)
     return total
@@ -159,8 +160,7 @@ def kclique_count(
                 if k == 3:
                     total += neigh_u.intersect_count(dag[v])
                 else:
-                    nxt.assign(neigh_u)
-                    nxt.intersect_inplace(dag[v])
+                    nxt.intersect_assign(neigh_u, dag[v])
                     if not nxt.is_empty():
                         total += _count_rec(dag, 3, k, nxt, scratch)
                 task_costs.append(time.perf_counter() - tv)

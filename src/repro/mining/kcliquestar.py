@@ -44,11 +44,12 @@ def kclique_stars(
     sets = cache.set_graph(graph, cls)
     results: List[Tuple[List[int], List[int]]] = []
     for clique in kclique_list(graph, k, set_cls=cls, cache=cache):
-        star = sets[clique[0]].clone()
-        for v in clique[1:]:
-            star.intersect_inplace(sets[v])
+        star = cls.empty()
+        star.intersect_assign(sets[clique[0]], sets[clique[1]])
+        for v in clique[2:]:
             if star.is_empty():
                 break
+            star.intersect_inplace(sets[v])
         for v in clique:
             star.remove(v)
         if star.cardinality() >= min_star:

@@ -13,12 +13,14 @@ import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Type
 
+from ..core.dispatch import DISPATCH_MODES
 from ..core.interface import SetBase
 from ..core.registry import get_set_class, set_class_names
 from ..preprocess.ordering import ORDERINGS
 
 __all__ = [
     "Args",
+    "add_dispatch_args",
     "add_parallel_args",
     "add_sketch_budget_args",
     "build_parser",
@@ -52,6 +54,23 @@ def add_parallel_args(parser: argparse.ArgumentParser) -> None:
                         help="MaterializationCache LRU budget in bytes "
                              "(per process; sized via SetGraph."
                              "storage_bytes; 0 = unbounded)")
+
+
+def add_dispatch_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared set-op dispatch flag.
+
+    ``--dispatch adaptive`` swaps every *exact* set backend for the
+    density-adaptive :class:`~repro.core.dispatch.AdaptiveSet` (per-
+    neighborhood bitmap-vs-array organization, per-call merge-vs-gallop
+    algorithm).  Sketch backends keep their budget-tuned classes.  Results
+    are bit-identical either way — only the kernels serving them change.
+    """
+    parser.add_argument("--dispatch", default="static",
+                        choices=DISPATCH_MODES,
+                        help="set-op dispatch: 'static' keeps the chosen "
+                             "set class everywhere; 'adaptive' picks the "
+                             "organization per neighborhood and the "
+                             "intersection algorithm per call")
 
 
 def add_sketch_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +120,8 @@ class Args:
     workers: int = 1
     schedule: str = "dynamic"
     cache_budget_bytes: int = 0
+    # Set-op dispatch policy ('static' or 'adaptive').
+    dispatch: str = "static"
 
     def __post_init__(self) -> None:
         if self.threads is None:
@@ -121,6 +142,7 @@ class Args:
             self.set_class, bloom_bits=self.bloom_bits, kmv_k=self.kmv_k,
             bloom_shared_bits=self.bloom_shared_bits, num_sets=num_sets,
             bloom_fpr=self.bloom_fpr, avg_set_size=avg_set_size,
+            dispatch=self.dispatch,
         )
 
     def resolve_set_class_for_graph(self, graph) -> Type[SetBase]:
@@ -164,6 +186,7 @@ def build_parser(description: str = "GMS reproduction benchmark") -> argparse.Ar
                         help="ADG approximation parameter")
     add_sketch_budget_args(parser)
     add_parallel_args(parser)
+    add_dispatch_args(parser)
     parser.add_argument("--k", type=int, default=4, help="clique size k")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
@@ -194,6 +217,7 @@ def parse_args(argv: Optional[List[str]] = None,
         workers=ns.workers,
         schedule=ns.schedule,
         cache_budget_bytes=ns.cache_budget_bytes,
+        dispatch=ns.dispatch,
     )
 
 
@@ -201,6 +225,7 @@ def resolve_set_class(
     set_class: str, *, bloom_bits: int = 0, kmv_k: int = 0,
     bloom_shared_bits: int = 0, num_sets: int = 0,
     bloom_fpr: float = 0.0, avg_set_size: float = 0.0,
+    dispatch: str = "static",
 ) -> Type[SetBase]:
     """Resolve a set-class name, applying any sketch-budget overrides.
 
@@ -218,8 +243,23 @@ def resolve_set_class(
     (:func:`~repro.approx.estimators.bloom_bits_for_fpr`) for a set of the
     average size, and the shared total is that size times ``num_sets`` —
     the operator states the accuracy target, the platform picks the budget.
+
+    ``dispatch="adaptive"`` swaps any resolved *exact* class for
+    :class:`~repro.core.dispatch.AdaptiveSet`; the sketch backends are
+    exempt — their accuracy contract is tied to the budget-configured
+    class resolved below, and results must stay estimator-for-estimator
+    comparable across dispatch modes.
     """
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch mode {dispatch!r}; known: "
+            + ", ".join(DISPATCH_MODES)
+        )
     cls = get_set_class(set_class)
+    if dispatch == "adaptive" and cls.IS_EXACT:
+        from ..core.dispatch import AdaptiveSet
+
+        return AdaptiveSet
     from ..approx import BloomFilterSet, KMVSketchSet
 
     if issubclass(cls, BloomFilterSet):
@@ -249,6 +289,7 @@ def resolve_set_class(
 def resolve_set_class_for_graph(
     graph, set_class: str, *, bloom_bits: int = 0, kmv_k: int = 0,
     bloom_shared_bits: int = 0, bloom_fpr: float = 0.0,
+    dispatch: str = "static",
 ) -> Type[SetBase]:
     """Resolve a set-class name with the shared budget split over *graph*.
 
@@ -264,5 +305,5 @@ def resolve_set_class_for_graph(
     return resolve_set_class(
         set_class, bloom_bits=bloom_bits, kmv_k=kmv_k,
         bloom_shared_bits=bloom_shared_bits, num_sets=n,
-        bloom_fpr=bloom_fpr, avg_set_size=avg,
+        bloom_fpr=bloom_fpr, avg_set_size=avg, dispatch=dispatch,
     )

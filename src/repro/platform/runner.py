@@ -75,6 +75,13 @@ TIMING_CELL_KEYS = ("seconds",)
 #: Extras keys holding per-task wall-clock profiles.
 TIMING_EXTRAS_KEYS = ("task_costs",)
 
+#: Cell-level keys recording *which code served the cell* rather than what
+#: it computed.  The ``--semantic`` suite-diff drops these too: a static
+#: and an adaptive-dispatch run resolve different concrete classes by
+#: design, and the identity gate is about the computed results (values,
+#: counters, cross-check anchors) being bit-identical regardless.
+PROVENANCE_CELL_KEYS = ("resolved_class",)
+
 
 def _mp_context():
     """Prefer ``fork`` so runtime-registered kernels reach the workers."""
@@ -350,7 +357,9 @@ def run_suite_parallel(
 # ---------------------------------------------------------------------------
 
 
-def strip_timing(payload: Dict[str, object]) -> Dict[str, object]:
+def strip_timing(
+    payload: Dict[str, object], *, semantic: bool = False
+) -> Dict[str, object]:
     """The deterministic projection of a suite payload.
 
     Keeps the dataset identity, the cross-check anchor, and every cell
@@ -362,11 +371,17 @@ def strip_timing(payload: Dict[str, object]) -> Dict[str, object]:
     whatever the schedule.  gms-suite/v1 payloads (no ``extras``, no
     ``counters`` block) project cleanly too, so suite-diff can diagnose a
     v1-vs-v2 pair instead of crashing on it.
+
+    ``semantic=True`` additionally drops the provenance keys
+    (``resolved_class``): the projection then states *what was computed*,
+    not which concrete class computed it — the equivalence a
+    ``--dispatch static`` vs ``--dispatch adaptive`` pair must satisfy.
     """
+    dropped = TIMING_CELL_KEYS + (PROVENANCE_CELL_KEYS if semantic else ())
     cells = []
     for cell in payload["cells"]:
         kept = {
-            k: v for k, v in cell.items() if k not in TIMING_CELL_KEYS
+            k: v for k, v in cell.items() if k not in dropped
         }
         kept["extras"] = {
             k: v for k, v in cell.get("extras", {}).items()
@@ -385,11 +400,13 @@ def strip_timing(payload: Dict[str, object]) -> Dict[str, object]:
 
 
 def diff_payloads(
-    a: Dict[str, object], b: Dict[str, object]
+    a: Dict[str, object], b: Dict[str, object], *, semantic: bool = False
 ) -> List[str]:
     """Human-readable differences between two payloads' deterministic
-    projections; empty means byte-identical after timing stripping."""
-    sa, sb = strip_timing(a), strip_timing(b)
+    projections; empty means byte-identical after timing stripping
+    (and, with ``semantic=True``, after provenance stripping)."""
+    sa = strip_timing(a, semantic=semantic)
+    sb = strip_timing(b, semantic=semantic)
     if json.dumps(sa, sort_keys=True) == json.dumps(sb, sort_keys=True):
         return []
     problems: List[str] = []
@@ -426,12 +443,16 @@ def diff_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("artifact_a")
     parser.add_argument("artifact_b")
+    parser.add_argument("--semantic", action="store_true",
+                        help="also ignore which concrete set classes "
+                             "served the cells (resolved_class) — the "
+                             "static-vs-adaptive dispatch identity gate")
     ns = parser.parse_args(argv)
     with open(ns.artifact_a) as handle:
         a = json.load(handle)
     with open(ns.artifact_b) as handle:
         b = json.load(handle)
-    problems = diff_payloads(a, b)
+    problems = diff_payloads(a, b, semantic=ns.semantic)
     if problems:
         print(f"suite artifacts differ beyond timing "
               f"({len(problems)} problem(s)):", file=sys.stderr)

@@ -93,7 +93,7 @@ from ..graph import DATASETS, load_dataset
 from ..graph.csr import CSRGraph
 from ..graph.set_graph import MaterializationCache
 from ..preprocess.ordering import ORDERINGS
-from .cli import RUNNER_SCHEDULES
+from .cli import DISPATCH_MODES, RUNNER_SCHEDULES
 from .suite import (
     SUITE_KERNELS,
     ExperimentPlan,
@@ -174,7 +174,7 @@ class Query:
 
     _OVERRIDE_KEYS = (
         "kernel", "dataset", "backend", "ordering", "k", "eps", "repeats",
-        "fpr", "bits", "shared_bits", "kmv_k",
+        "fpr", "bits", "shared_bits", "kmv_k", "dispatch",
     )
 
     def __init__(self, session: "MiningSession", kernel: str, *,
@@ -195,6 +195,7 @@ class Query:
         self._kmv_k = 0
         self._bloom_shared_bits = 0
         self._bloom_fpr = 0.0
+        self._dispatch = "static"
 
     def _clone(self) -> "Query":
         clone = Query.__new__(Query)
@@ -230,6 +231,21 @@ class Query:
         """Select the vertex ordering (registry mnemonic or alias)."""
         clone = self._clone()
         clone._ordering = resolve_ordering_name(name)
+        return clone
+
+    def dispatch(self, mode: str) -> "Query":
+        """Select the set-op dispatch policy (``static`` or ``adaptive``).
+
+        ``adaptive`` swaps the resolved backend for the density-adaptive
+        dispatcher when it is exact; sketch backends are left alone.
+        Results are bit-identical either way.
+        """
+        if mode not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {mode!r}; known: {DISPATCH_MODES}"
+            )
+        clone = self._clone()
+        clone._dispatch = mode
         return clone
 
     def params(self, *, k: Optional[int] = None,
@@ -295,6 +311,8 @@ class Query:
             )
         if "repeats" in overrides:
             query = query.repeats(int(overrides["repeats"]))
+        if "dispatch" in overrides:
+            query = query.dispatch(str(overrides["dispatch"]))
         return query
 
     # -- compilation --------------------------------------------------------
@@ -319,6 +337,7 @@ class Query:
             workers=session.workers,
             schedule=session.schedule,
             cache_budget_bytes=session.cache_budget_bytes,
+            dispatch=self._dispatch,
         )
 
     def cell_spec(self) -> Tuple[str, str, str]:

@@ -146,7 +146,9 @@ from ..preprocess.ordering import ORDERINGS
 from ..runtime.scheduler import SCHEDULER_POLICIES, simulate_makespan
 from .bench import print_table, write_artifact
 from .cli import (
+    DISPATCH_MODES,
     RUNNER_SCHEDULES,
+    add_dispatch_args,
     add_parallel_args,
     add_sketch_budget_args,
     resolve_set_class_for_graph,
@@ -312,6 +314,11 @@ class ExperimentPlan:
     workers: int = 1
     schedule: str = "dynamic"
     cache_budget_bytes: int = 0
+    # Set-op dispatch: "static" keeps each backend's own kernels,
+    # "adaptive" swaps exact backends for the density-adaptive dispatcher
+    # (the reference backend stays static so the cross-check pins the
+    # adaptive results against the untouched path).
+    dispatch: str = "static"
 
     def resolved_kernels(self) -> List[SuiteKernel]:
         names = self.kernels or tuple(SUITE_KERNELS)
@@ -338,15 +345,15 @@ class ExperimentPlan:
             )
         return list(names)
 
-    def budget_key(self) -> Tuple[int, int, int, float]:
-        """The sketch-budget knobs that backend resolution depends on.
+    def budget_key(self) -> Tuple[int, int, int, float, str]:
+        """The resolution knobs that backend resolution depends on.
 
         Memoized backend resolution — in the session and in the pool
         workers — keys on this tuple so a class resolved under one budget
-        never serves a request made under another.
+        (or dispatch mode) never serves a request made under another.
         """
         return (self.bloom_bits, self.kmv_k, self.bloom_shared_bits,
-                self.bloom_fpr)
+                self.bloom_fpr, self.dispatch)
 
     def validate_execution(self) -> None:
         if self.workers < 1:
@@ -355,6 +362,11 @@ class ExperimentPlan:
             raise ValueError(
                 f"unknown schedule {self.schedule!r}; "
                 f"known: {RUNNER_SCHEDULES}"
+            )
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch {self.dispatch!r}; "
+                f"known: {DISPATCH_MODES}"
             )
 
     @classmethod
@@ -400,12 +412,21 @@ def expand_cells(plan: ExperimentPlan) -> List[Tuple[str, str, str]]:
 def resolve_backend(
     plan: ExperimentPlan, dataset: str, backend_name: str, graph: CSRGraph
 ) -> Type[SetBase]:
-    """Resolve one backend name under the plan's sketch budgets."""
+    """Resolve one backend name under the plan's budgets and dispatch.
+
+    The reference backend is *pinned static* even under ``--dispatch
+    adaptive``: its cells anchor every cross-check, so they must keep
+    running on the untouched sorted-array path — that is what makes the
+    suite's exact-backend gate a genuine adaptive-vs-static identity
+    check rather than adaptive-vs-itself.
+    """
+    dispatch = ("static" if backend_name == REFERENCE_BACKEND
+                else plan.dispatch)
     return resolve_set_class_for_graph(
         graph, backend_name,
         bloom_bits=plan.bloom_bits, kmv_k=plan.kmv_k,
         bloom_shared_bits=plan.bloom_shared_bits,
-        bloom_fpr=plan.bloom_fpr,
+        bloom_fpr=plan.bloom_fpr, dispatch=dispatch,
     )
 
 
@@ -639,6 +660,7 @@ def build_suite_parser() -> argparse.ArgumentParser:
                         help="timing repeats per cell (best-of)")
     add_sketch_budget_args(parser)
     add_parallel_args(parser)
+    add_dispatch_args(parser)
     parser.add_argument("--smoke", action="store_true",
                         help="run the tiny CI matrix "
                              "(2 backends × 2 orderings × 3 kernels) and "
@@ -662,6 +684,7 @@ def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
             ExperimentPlan.smoke(),
             workers=ns.workers, schedule=ns.schedule,
             cache_budget_bytes=ns.cache_budget_bytes,
+            dispatch=ns.dispatch,
         )
     return ExperimentPlan(
         datasets=tuple(ns.datasets),
@@ -678,6 +701,7 @@ def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
         workers=ns.workers,
         schedule=ns.schedule,
         cache_budget_bytes=ns.cache_budget_bytes,
+        dispatch=ns.dispatch,
     )
 
 
