@@ -2,7 +2,7 @@
 
 Consumes ``results/aggregate.json`` (``gms-aggregate/v2``, produced by
 ``python -m repro aggregate``) and ``results/session_bench.json``
-(``gms-session-bench/v1``, produced by ``benchmarks/bench_session.py``)
+(``gms-session-bench/v2``, produced by ``benchmarks/bench_session.py``)
 and renders:
 
 * per-backend speed vs accuracy (mean speedup over the reference vs mean

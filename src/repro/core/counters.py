@@ -60,10 +60,25 @@ class Counters:
         This is where representation-specific cost lives, so the ablation
         benchmark can attribute cycles to organizations while
         ``elements_read`` stays comparable across backends.
+    payload_bytes_shipped:
+        Bytes the parallel runtime shipped *to* pool workers: the
+        pre-warm seed payload (counted once per worker it initializes)
+        plus the pickled arguments of every pool task.  This is the
+        serialization cost the shared-memory transport exists to
+        eliminate — shm runs ship array *descriptors* instead of array
+        contents, and this counter is what makes the reduction
+        attributable rather than anecdotal.  Recorded parent-side only
+        (workers never ship payloads), so worker counter deltas carry 0.
+    payload_tasks:
+        Number of pool tasks shipped; ``payload_bytes_shipped /
+        payload_tasks`` is the bench's payload-bytes-per-task metric
+        (seed payloads count bytes but not tasks, so they amortize over
+        the tasks they warm).
     """
 
     __slots__ = ("set_ops", "point_ops", "elements_read", "elements_written",
-                 "sketch_builds", "words_scanned")
+                 "sketch_builds", "words_scanned", "payload_bytes_shipped",
+                 "payload_tasks")
 
     def __init__(self) -> None:
         self.reset()
@@ -76,6 +91,8 @@ class Counters:
         self.elements_written = 0
         self.sketch_builds = 0
         self.words_scanned: Dict[str, int] = {}
+        self.payload_bytes_shipped = 0
+        self.payload_tasks = 0
 
     # The record methods are deliberately tiny: they sit on the hot path
     # of every set operation.
@@ -99,6 +116,15 @@ class Counters:
         scans = self.words_scanned
         scans[organization] = scans.get(organization, 0) + words
 
+    def record_payload(self, nbytes: int, tasks: int = 0) -> None:
+        """Record *nbytes* shipped to pool workers (*tasks* pool tasks).
+
+        Pool-seed payloads record bytes only (``tasks=0``); per-task
+        submissions record ``tasks=1`` so bytes-per-task stays computable.
+        """
+        self.payload_bytes_shipped += nbytes
+        self.payload_tasks += tasks
+
     def absorb(self, delta: "Snapshot") -> None:
         """Fold a :class:`Snapshot` delta into this block.
 
@@ -114,6 +140,8 @@ class Counters:
         self.sketch_builds += delta.sketch_builds
         for organization, words in delta.words_scanned.items():
             self.record_scan(organization, words)
+        self.payload_bytes_shipped += delta.payload_bytes_shipped
+        self.payload_tasks += delta.payload_tasks
 
     @property
     def memory_traffic(self) -> int:
@@ -143,6 +171,8 @@ class Snapshot:
     elements_written: int
     sketch_builds: int = 0
     words_scanned: Mapping[str, int] = field(default_factory=dict)
+    payload_bytes_shipped: int = 0
+    payload_tasks: int = 0
 
     def delta(self, later: "Snapshot") -> "Snapshot":
         """Return the counter increments between ``self`` and *later*."""
@@ -158,6 +188,9 @@ class Snapshot:
             elements_written=later.elements_written - self.elements_written,
             sketch_builds=later.sketch_builds - self.sketch_builds,
             words_scanned=scans,
+            payload_bytes_shipped=(later.payload_bytes_shipped
+                                   - self.payload_bytes_shipped),
+            payload_tasks=later.payload_tasks - self.payload_tasks,
         )
 
     def merge(self, other: "Snapshot") -> "Snapshot":
@@ -177,6 +210,9 @@ class Snapshot:
             sketch_builds=self.sketch_builds + other.sketch_builds,
             words_scanned=_merge_scans(self.words_scanned,
                                        other.words_scanned),
+            payload_bytes_shipped=(self.payload_bytes_shipped
+                                   + other.payload_bytes_shipped),
+            payload_tasks=self.payload_tasks + other.payload_tasks,
         )
 
     __add__ = merge
@@ -204,6 +240,8 @@ def snapshot() -> Snapshot:
         elements_written=COUNTERS.elements_written,
         sketch_builds=COUNTERS.sketch_builds,
         words_scanned=dict(COUNTERS.words_scanned),
+        payload_bytes_shipped=COUNTERS.payload_bytes_shipped,
+        payload_tasks=COUNTERS.payload_tasks,
     )
 
 

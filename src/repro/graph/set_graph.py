@@ -36,6 +36,8 @@ __all__ = [
     "SetGraph",
     "build_set_graph",
     "build_oriented_set_graph",
+    "flatten_set_graph",
+    "unflatten_set_graph",
     "MaterializationCache",
 ]
 
@@ -161,6 +163,53 @@ def build_oriented_set_graph(
         for v in range(graph.num_nodes)
     ]
     return SetGraph(neighborhoods, set_cls, directed=True)
+
+
+def flatten_set_graph(sg: SetGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten an exact :class:`SetGraph` to CSR-style member arrays.
+
+    Returns ``(offsets, values)`` — ``values[offsets[v]:offsets[v+1]]``
+    is the sorted member array of ``N(v)``.  This is the array form the
+    shared-memory transport (:mod:`repro.platform.shm`) ships: two flat
+    int64 arrays instead of a pickle of every neighborhood object.
+    Only exact backends can be flattened (sketches cannot enumerate
+    their members).
+    """
+    if not sg.set_cls.IS_EXACT:
+        raise ValueError(
+            f"cannot flatten inexact backend {sg.set_cls.__name__}"
+        )
+    n = sg.num_nodes
+    counts = np.fromiter(
+        (s.cardinality() for s in sg._neighborhoods), dtype=np.int64,
+        count=n,
+    )
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    values = np.empty(int(offsets[-1]), dtype=np.int64)
+    for v, s in enumerate(sg._neighborhoods):
+        values[offsets[v]:offsets[v + 1]] = s.to_array()
+    return offsets, values
+
+
+def unflatten_set_graph(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    set_cls: Type[SetBase],
+    *,
+    directed: bool,
+) -> SetGraph:
+    """Rebuild a :class:`SetGraph` from :func:`flatten_set_graph` arrays.
+
+    Neighborhoods are constructed via ``from_sorted_array`` on slices of
+    *values* — for sorted-array backends those slices pass through as
+    views, so rebuilding from shared-memory arrays copies nothing.
+    """
+    neighborhoods = [
+        set_cls.from_sorted_array(values[offsets[v]:offsets[v + 1]])
+        for v in range(len(offsets) - 1)
+    ]
+    return SetGraph(neighborhoods, set_cls, directed=directed)
 
 
 def _picklable_by_reference(cls: type) -> bool:

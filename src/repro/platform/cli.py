@@ -29,10 +29,18 @@ __all__ = [
     "resolve_set_class_for_graph",
 ]
 
-#: Chunking policies of the real process-pool runner (a subset of the
-#: simulated :data:`repro.runtime.scheduler.SCHEDULER_POLICIES` — work
-#: stealing needs shared deques a process pool does not have).
-RUNNER_SCHEDULES = ("static", "dynamic")
+#: Chunking policies of the real process-pool runner — now the full
+#: simulated :data:`repro.runtime.scheduler.SCHEDULER_POLICIES` set:
+#: 'stealing' keeps per-worker deques in the parent and migrates cells
+#: between them on completion events (steal-half from the longest deque),
+#: so all three modeled policies are also measured.
+RUNNER_SCHEDULES = ("static", "dynamic", "stealing")
+
+#: Pool pre-warm transports: 'pickle' ships graph/materialization state
+#: by value to every worker; 'shm' exports the arrays once into named
+#: shared-memory segments (:mod:`repro.platform.shm`) and ships only
+#: descriptors — workers map the segments zero-copy.
+TRANSPORTS = ("pickle", "shm")
 
 
 def add_parallel_args(parser: argparse.ArgumentParser) -> None:
@@ -49,11 +57,18 @@ def add_parallel_args(parser: argparse.ArgumentParser) -> None:
                         choices=RUNNER_SCHEDULES,
                         help="cell chunking policy for --workers > 1: "
                              "'static' = contiguous shards, 'dynamic' = "
-                             "one cell per pool task (greedy queue)")
+                             "one cell per pool task (greedy queue), "
+                             "'stealing' = per-worker deques with "
+                             "steal-half migration")
     parser.add_argument("--cache-budget-bytes", type=int, default=0,
                         help="MaterializationCache LRU budget in bytes "
                              "(per process; sized via SetGraph."
                              "storage_bytes; 0 = unbounded)")
+    parser.add_argument("--transport", default="pickle",
+                        choices=TRANSPORTS,
+                        help="pool pre-warm transport: 'pickle' copies "
+                             "graph state into every worker, 'shm' maps "
+                             "shared-memory segments zero-copy")
 
 
 def add_dispatch_args(parser: argparse.ArgumentParser) -> None:
@@ -120,6 +135,7 @@ class Args:
     workers: int = 1
     schedule: str = "dynamic"
     cache_budget_bytes: int = 0
+    transport: str = "pickle"
     # Set-op dispatch policy ('static' or 'adaptive').
     dispatch: str = "static"
 
@@ -217,6 +233,7 @@ def parse_args(argv: Optional[List[str]] = None,
         workers=ns.workers,
         schedule=ns.schedule,
         cache_budget_bytes=ns.cache_budget_bytes,
+        transport=ns.transport,
         dispatch=ns.dispatch,
     )
 

@@ -13,14 +13,26 @@ Design
 ------
 The plan's cell list is expanded once, in canonical order
 (:func:`repro.platform.suite.expand_cells`), and sharded across a
-:class:`concurrent.futures.ProcessPoolExecutor` under one of two chunking
-policies, deliberately mirroring the simulated ``SCHEDULER_POLICIES``:
+:class:`concurrent.futures.ProcessPoolExecutor` under one of three
+chunking policies, deliberately mirroring the simulated
+``SCHEDULER_POLICIES``:
 
 * ``static`` — contiguous shards via
   :func:`repro.runtime.scheduler.static_chunks` (the *same* partitioning
   rule the makespan model uses), one pool task per shard;
 * ``dynamic`` — one pool task per cell; the executor's shared queue is
-  the greedy list scheduler.
+  the greedy list scheduler;
+* ``stealing`` — per-logical-worker deques held in the parent,
+  initialized with the static partitioning; a worker whose deque runs
+  dry steals :func:`repro.runtime.scheduler.steal_count` cells from the
+  *back* of the longest other deque (the Cilk/TBB steal-half rule), so
+  all three modeled policies are also measured.
+
+Every pool-task submission meters its pickled argument size into
+``Counters.payload_bytes_shipped`` (parent-side; see
+:mod:`repro.core.counters`), which is what lets the shared-memory
+transport's payload reduction be read off the session bench instead of
+inferred.
 
 Each worker process owns its graph + :class:`MaterializationCache`
 (bounded by ``plan.cache_budget_bytes``) in module-global state that
@@ -48,16 +60,16 @@ import multiprocessing
 import pickle
 import sys
 import time
-from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple, Type
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from ..core import counters as _counters
 from ..core.counters import Snapshot, merge_snapshots
 from ..core.interface import SetBase
 from ..graph import load_dataset  # noqa: F401 — worker-side import
 from ..graph.set_graph import MaterializationCache
-from ..runtime.scheduler import static_chunks
+from ..runtime.scheduler import static_chunks, steal_count
 from . import suite as _suite
 
 __all__ = [
@@ -118,21 +130,37 @@ def _seed_worker(payload_bytes: bytes) -> None:
     """Pool initializer: install pre-warmed per-dataset state.
 
     The payload — pickled once in the parent, when the resident pool is
-    created — maps dataset names to ``(graph, cache_state, budget)``.
-    Each worker unpickles its copy at startup and seeds its local
-    :class:`MaterializationCache`, so the first task it serves finds the
-    oriented ``SetGraph`` already materialized instead of rebuilding it.
-    Seeded *non-registry* datasets are pinned against LRU eviction: a
-    custom session graph exists only in this payload, and evicting it
-    would make every later task for it fail.  Registry datasets stay
-    evictable — a worker can always reload them by name — so the
-    ``_WORKER_DATASET_CAPACITY`` bound keeps holding for them.
+    created — maps dataset names to independently-pickled entry blobs
+    (so one bad dataset never poisons the rest; see
+    ``MiningSession._warm_payload``).  Each blob is a tagged tuple:
+
+    * ``("pickle", graph, cache_state, budget)`` — state by value, the
+      historical transport;
+    * ``("shm", shm_payload, budget)`` — shared-memory descriptors from
+      :func:`repro.platform.shm.export_graph_payload`; the worker maps
+      the parent's segments and rebuilds the graph + materializations as
+      read-only zero-copy views.
+
+    Either way the worker seeds its local :class:`MaterializationCache`,
+    so the first task it serves finds the oriented ``SetGraph`` already
+    materialized instead of rebuilding it.  Seeded *non-registry*
+    datasets are pinned against LRU eviction: a custom session graph
+    exists only in this payload, and evicting it would make every later
+    task for it fail.  Registry datasets stay evictable — a worker can
+    always reload them by name — so the ``_WORKER_DATASET_CAPACITY``
+    bound keeps holding for them.
     """
     from ..graph import DATASETS
 
-    for dataset, (graph, cache_state, budget) in pickle.loads(
-        payload_bytes
-    ).items():
+    for dataset, blob in pickle.loads(payload_bytes).items():
+        entry = pickle.loads(blob)
+        if entry[0] == "shm":
+            from .shm import attach_graph_payload
+
+            _, shm_payload, budget = entry
+            graph, cache_state = attach_graph_payload(shm_payload)
+        else:
+            _, graph, cache_state, budget = entry
         cache = MaterializationCache(budget_bytes=budget)
         if cache_state is not None:
             cache.seed_graph_state(graph, cache_state)
@@ -146,10 +174,19 @@ def _worker_dataset(plan, dataset: str):
     if state is not None:
         _WORKER_STATE.move_to_end(dataset)
         return state
-    evictable = [name for name in _WORKER_STATE
-                 if name not in _WORKER_PINNED]
-    while evictable and len(_WORKER_STATE) >= _WORKER_DATASET_CAPACITY:
-        victim = evictable.pop(0)
+    # Make room *before* inserting, least-recently-used first: the
+    # OrderedDict front is the LRU entry because every hit above calls
+    # move_to_end.  The victim is recomputed per iteration (a snapshot
+    # taken up front would go stale as entries are deleted) and pinned
+    # entries are skipped, so after the insert the map holds at most
+    # _WORKER_DATASET_CAPACITY entries unless pins alone exceed it.
+    while len(_WORKER_STATE) >= _WORKER_DATASET_CAPACITY:
+        victim = next(
+            (name for name in _WORKER_STATE if name not in _WORKER_PINNED),
+            None,
+        )
+        if victim is None:
+            break
         del _WORKER_STATE[victim]
         for key in [k for k in _WORKER_BACKENDS if k[0] == victim]:
             del _WORKER_BACKENDS[key]
@@ -182,16 +219,22 @@ def _run_shard(
     Returns the finished cells (keyed by their canonical index), the
     worker's counter delta for the shard (kernel work *plus* the warm-up /
     materialization overhead — what the shard really cost this process),
-    and the cache-stats *delta* attributable to this shard (monotone
-    counters since the shard started; gauges instantaneous) so the parent
-    can aggregate per-run materialization work even though the worker's
+    per-cell counter deltas (``cell_counters``, telescoping between cell
+    boundaries, so their sum equals the shard delta exactly and the first
+    cell absorbs any shared materialization cost — what lets a batched
+    ``run_many`` shard still report per-variant counters), and the
+    cache-stats *delta* attributable to this shard (monotone counters
+    since the shard started; gauges instantaneous) so the parent can
+    aggregate per-run materialization work even though the worker's
     cache — and, under a resident session pool, the worker itself —
     outlives any single run.
     """
     graph, cache = _worker_dataset(plan, dataset)
     stats_baseline = cache.stats()
     before = _counters.snapshot()
+    boundary = before
     cells: List[Tuple[int, Dict[str, object]]] = []
+    cell_deltas: List[Snapshot] = []
     for index, (backend_name, kernel_name, ordering) in shard:
         set_cls = _worker_backend(plan, dataset, backend_name, graph)
         cell = _suite.run_cell(
@@ -199,11 +242,15 @@ def _run_shard(
             backend_name, ordering, plan, cache,
         )
         cells.append((index, cell))
-    delta = before.delta(_counters.snapshot())
+        now = _counters.snapshot()
+        cell_deltas.append(boundary.delta(now))
+        boundary = now
+    delta = before.delta(boundary)
     return {
         "pid": multiprocessing.current_process().pid,
         "cells": cells,
         "counters": delta,
+        "cell_counters": cell_deltas,
         "cache_stats": cache.stats_since(stats_baseline),
         # The parent never loads the dataset itself; the dims it needs
         # for the artifact travel back with every shard.
@@ -220,7 +267,12 @@ def _run_shard(
 def _shards(
     specs: List[Tuple[str, str, str]], workers: int, schedule: str
 ) -> List[List[Tuple[int, Tuple[str, str, str]]]]:
-    """Chunk the indexed cell list under the plan's scheduling policy."""
+    """Chunk the indexed cell list under the plan's scheduling policy.
+
+    Handles the submit-everything-up-front policies; ``stealing`` has its
+    own event loop (:func:`_stealing_shard_results`) because its shard
+    boundaries depend on completion order.
+    """
     indexed = list(enumerate(specs))
     if schedule == "static":
         return [
@@ -229,6 +281,77 @@ def _shards(
         ]
     # dynamic: one pool task per cell; the executor queue does the rest.
     return [[item] for item in indexed]
+
+
+def _submit_shard(
+    pool: ProcessPoolExecutor, plan, dataset: str,
+    shard: Sequence[Tuple[int, Tuple[str, str, str]]],
+):
+    """Submit one shard, metering its serialized payload as one task.
+
+    Every pool task ships ``(plan, dataset, shard)`` by pickle whatever
+    the pre-warm transport was; recording the bytes here (parent-side —
+    worker deltas carry 0) is what makes payload-bytes-per-task a
+    measured quantity in the session bench.
+    """
+    _counters.COUNTERS.record_payload(
+        len(pickle.dumps((plan, dataset, shard))), tasks=1
+    )
+    return pool.submit(_run_shard, plan, dataset, shard)
+
+
+def _stealing_shard_results(
+    pool: ProcessPoolExecutor, plan, dataset: str,
+    specs: List[Tuple[str, str, str]],
+) -> Iterator[Dict[str, object]]:
+    """Work-stealing executor: yield shard results as they complete.
+
+    The parent holds one cell deque per logical worker, initialized with
+    the *static* partitioning (so with zero steals the policy degenerates
+    to ``static``), and keeps at most ``plan.workers`` single-cell pool
+    tasks in flight — one per logical worker, mapped future → owner.
+    When an owner's task completes it takes its next cell from the front
+    of its own deque; if that deque is dry it steals
+    :func:`~repro.runtime.scheduler.steal_count` cells (steal-half) from
+    the *back* of the longest other deque — the owner keeps eating its
+    front, so thief and victim touch opposite ends, exactly the
+    classical deque discipline.  Results stream back in completion
+    order; the caller reassembles cells by canonical index, so the
+    artifact is deterministic whatever the steal pattern was.
+    """
+    indexed = list(enumerate(specs))
+    deques: List[deque] = [
+        deque(indexed[start:end])
+        for start, end in static_chunks(len(indexed), plan.workers)
+    ]
+    while len(deques) < plan.workers:
+        deques.append(deque())
+
+    in_flight: Dict[object, int] = {}
+
+    def dispatch(owner: int) -> None:
+        own = deques[owner]
+        if not own:
+            victim = max(
+                (i for i in range(len(deques)) if i != owner),
+                key=lambda i: len(deques[i]), default=None,
+            )
+            if victim is None or not deques[victim]:
+                return
+            for _ in range(steal_count(len(deques[victim]))):
+                own.append(deques[victim].pop())
+        future = _submit_shard(pool, plan, dataset, [own.popleft()])
+        in_flight[future] = owner
+
+    for owner in range(plan.workers):
+        dispatch(owner)
+    while in_flight:
+        done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+        for future in done:
+            owner = in_flight.pop(future)
+            result = future.result()
+            dispatch(owner)
+            yield result
 
 
 #: Cache-stat fields that are deltas per shard report (summed when a
@@ -283,18 +406,21 @@ def run_plan_on_pool(
     own accumulator here so ``session.stats()`` sees pool-served plans).
     """
     specs = _suite.expand_cells(plan)
-    shards = _shards(specs, plan.workers, plan.schedule)
     t0 = time.perf_counter()
-    futures = [
-        pool.submit(_run_shard, plan, dataset, shard)
-        for shard in shards
-    ]
+    if plan.schedule == "stealing":
+        results_iter = _stealing_shard_results(pool, plan, dataset, specs)
+    else:
+        shards = _shards(specs, plan.workers, plan.schedule)
+        futures = [
+            _submit_shard(pool, plan, dataset, shard)
+            for shard in shards
+        ]
+        results_iter = (future.result() for future in futures)
     cells: List[Optional[Dict[str, object]]] = [None] * len(specs)
     worker_deltas: List[Snapshot] = []
     cache_stats_by_pid: Dict[int, Dict[str, object]] = {}
     num_nodes = num_edges = 0
-    for future in futures:
-        result = future.result()
+    for result in results_iter:
         num_nodes = result["num_nodes"]
         num_edges = result["num_edges"]
         worker_deltas.append(result["counters"])

@@ -70,6 +70,30 @@ Migration notes (from the ``Args``-threading API)
   started; graphs loaded afterwards are materialized worker-side on first
   use (registry datasets only — add custom graphs *before* the first
   parallel request so they ship with the warm payload).
+* ``MaterializationCache.export_graph_state`` callers shipping state
+  across processes themselves: the export payload is unchanged, but it
+  no longer has to cross the boundary by value — pass it through
+  :func:`repro.platform.shm.export_graph_payload` /
+  :func:`~repro.platform.shm.attach_graph_payload` to ship shared-memory
+  descriptors instead (what ``MiningSession(transport="shm")`` does),
+  and own the returned :class:`~repro.platform.shm.SegmentExporter`'s
+  lifetime the way :meth:`MiningSession.close` does.
+
+Zero-copy pool architecture (``transport="shm"``)
+-------------------------------------------------
+With the default ``transport="pickle"`` the pre-warm payload copies
+every graph and materialization into every worker.  With
+``transport="shm"`` the session exports the CSR arrays and each exact
+``SetGraph``'s flattened ``(offsets, values)`` member arrays into named
+:mod:`multiprocessing.shared_memory` segments **once** (a
+:class:`~repro.platform.shm.SegmentExporter` owned by the session), and
+the payload carries only array *descriptors*; workers map the segments
+and rebuild read-only zero-copy views.  Segments are unlinked by
+:meth:`~MiningSession.close` (idempotent), with a GC/atexit finalizer
+plus the stdlib resource tracker as crash backstops — a dead session
+never leaks ``/dev/shm`` entries.  Cell values, counters, and artifacts
+are identical across transports (CI gates this with ``suite-diff``);
+only ``payload_bytes_shipped`` changes.
 
 Sequential single queries (``.run()`` on a ``workers=1`` session) execute
 in-process against the shared session cache — lowest latency, cache hits
@@ -82,9 +106,10 @@ from __future__ import annotations
 
 import pickle
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type
+from dataclasses import astuple, dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Type
 
 from ..core import counters as _counters
 from ..core.counters import Snapshot, merge_snapshots
@@ -93,7 +118,7 @@ from ..graph import DATASETS, load_dataset
 from ..graph.csr import CSRGraph
 from ..graph.set_graph import MaterializationCache
 from ..preprocess.ordering import ORDERINGS
-from .cli import DISPATCH_MODES, RUNNER_SCHEDULES
+from .cli import DISPATCH_MODES, RUNNER_SCHEDULES, TRANSPORTS
 from .suite import (
     SUITE_KERNELS,
     ExperimentPlan,
@@ -130,6 +155,22 @@ def resolve_ordering_name(name: str) -> str:
         known = sorted(ORDERINGS) + sorted(ORDERING_ALIASES)
         raise KeyError(f"unknown ordering {name!r}; known: {known}")
     return resolved
+
+
+def _plan_shard_key(plan: ExperimentPlan) -> tuple:
+    """The plan fields two ``run_many`` variants must share to co-shard.
+
+    Everything except the sweep selection (datasets/kernels/set_classes/
+    orderings, which the shard's explicit cell specs carry instead): the
+    kernel parameters, budgets, and execution knobs a worker actually
+    reads while serving a shard.  Variants differing only in kernel (or
+    cross-checking the same kernel under one backend) therefore share a
+    shard — and its single materialization — while a variant with, say,
+    a different ``k`` gets its own.
+    """
+    return astuple(replace(
+        plan, datasets=(), kernels=(), set_classes=(), orderings=(),
+    ))
 
 
 @dataclass(frozen=True)
@@ -377,19 +418,33 @@ class MiningSession:
     ``workers=1`` (default) answers everything in-process; ``workers > 1``
     serves batches and plans from a resident process pool that is started
     lazily, pre-warmed once, and reused until :meth:`close`.
+
+    ``transport`` selects how the pre-warm state reaches the workers:
+    ``"pickle"`` (default) copies it into each worker; ``"shm"`` exports
+    the arrays once into named shared-memory segments that workers map as
+    read-only zero-copy views (see the module docstring's zero-copy
+    section) — same results, payload bytes reduced to descriptors.
+    ``schedule`` picks the pool policy (``static``/``dynamic``/
+    ``stealing``); :meth:`close` unlinks any shm segments.
     """
 
     def __init__(self, *, workers: int = 1, schedule: str = "dynamic",
-                 cache_budget_bytes: int = 0, verbose: bool = False):
+                 cache_budget_bytes: int = 0, transport: str = "pickle",
+                 verbose: bool = False):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if schedule not in RUNNER_SCHEDULES:
             raise ValueError(
                 f"unknown schedule {schedule!r}; known: {RUNNER_SCHEDULES}"
             )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; known: {TRANSPORTS}"
+            )
         self.workers = workers
         self.schedule = schedule
         self.cache_budget_bytes = cache_budget_bytes
+        self.transport = transport
         self.verbose = verbose
         self.cache = MaterializationCache(
             budget_bytes=cache_budget_bytes or None
@@ -401,6 +456,8 @@ class MiningSession:
         self._resolved: Dict[tuple, Tuple[CSRGraph, Type[SetBase]]] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._shipped: frozenset = frozenset()
+        self._rebound_after_pool: Set[str] = set()
+        self._exporter = None  # platform.shm.SegmentExporter, shm transport
         self._worker_cache_stats: Dict[int, Dict[str, object]] = {}
         self._baseline = _counters.snapshot()
         self._closed = False
@@ -412,7 +469,8 @@ class MiningSession:
         plan.validate_execution()
         return cls(
             workers=plan.workers, schedule=plan.schedule,
-            cache_budget_bytes=plan.cache_budget_bytes, verbose=verbose,
+            cache_budget_bytes=plan.cache_budget_bytes,
+            transport=plan.transport, verbose=verbose,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -427,11 +485,18 @@ class MiningSession:
         """Tear down the resident pool and refuse further requests.
 
         Idempotent.  The cache and counters stay readable after close (for
-        final stats reporting); only execution is refused.
+        final stats reporting); only execution is refused.  Under the shm
+        transport this is also where the session's shared-memory segments
+        are unlinked — after the pool drains, so no worker still needs
+        the parent to keep the names alive (the mappings themselves
+        survive unlink; the names must only outlive late *attaches*).
         """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._exporter is not None:
+            self._exporter.close()
+            self._exporter = None
         self._closed = True
 
     @property
@@ -473,6 +538,14 @@ class MiningSession:
                 f"graph {name!r} was already shipped to the resident pool "
                 f"and cannot be re-bound; use a new name (or a new session)"
             )
+        if self._pool is not None and name in self._graphs:
+            # A known-but-unshipped name re-bound after pool start: the
+            # parent now holds a graph the workers never saw, and a later
+            # parallel request for this name would otherwise resolve
+            # worker-side to something else entirely.  Record the
+            # divergence so _require_pool_dataset fails fast instead of
+            # letting it pass silently.
+            self._rebound_after_pool.add(name)
         self._graphs[name] = graph
         return graph
 
@@ -531,31 +604,58 @@ class MiningSession:
 
     # -- resident pool ------------------------------------------------------
 
+    def _ensure_exporter(self):
+        """The session's shm segment owner — created at most once."""
+        if self._exporter is None:
+            from .shm import SegmentExporter
+
+            self._exporter = SegmentExporter()
+        return self._exporter
+
     def _warm_payload(self) -> Tuple[bytes, frozenset]:
-        """Pickle the graph store + exportable materializations, once.
+        """Build the pool pre-warm payload, one entry per dataset.
 
         Returns the payload bytes and the set of dataset names it
-        actually carries.  Falls back to graphs-only, then to an empty
-        payload, if some session graph cannot cross the process boundary
-        — the pool still starts, workers just re-materialize locally, and
-        the shipped-set stays truthful so :meth:`_require_pool_dataset`
+        actually carries.  Each dataset is pickled *independently* (the
+        outer payload maps names to ready-made blobs), so one graph that
+        cannot cross the process boundary drops only its own entry —
+        every other dataset keeps its full warm state — and the
+        shipped-set stays truthful so :meth:`_require_pool_dataset`
         keeps failing fast for graphs the workers never received.
+
+        Per dataset the candidates degrade gracefully: a shared-memory
+        descriptor entry first (``transport="shm"``, plain ``CSRGraph``
+        only — a subclass would lose its behavior in the worker-side
+        rebuild), then full state by value, then graph-only.  A segment
+        exported for an entry whose pickling then fails is not released
+        eagerly; :meth:`close`'s exporter teardown reclaims it.
         """
         budget = self.cache_budget_bytes or None
-        with_state = {
-            name: (graph, self.cache.export_graph_state(graph), budget)
-            for name, graph in self._graphs.items()
-        }
-        graphs_only = {
-            name: (graph, None, budget)
-            for name, graph in self._graphs.items()
-        }
-        for candidate in (with_state, graphs_only, {}):
-            try:
-                return pickle.dumps(candidate), frozenset(candidate)
-            except Exception:
-                continue
-        return pickle.dumps({}), frozenset()
+        entries: Dict[str, bytes] = {}
+        for name, graph in self._graphs.items():
+            state = self.cache.export_graph_state(graph)
+            candidates = []
+            if self.transport == "shm" and type(graph) is CSRGraph:
+                from .shm import export_graph_payload
+
+                candidates.append(
+                    lambda g=graph, s=state: (
+                        "shm",
+                        export_graph_payload(self._ensure_exporter(), g, s),
+                        budget,
+                    )
+                )
+            candidates.append(
+                lambda g=graph, s=state: ("pickle", g, s, budget)
+            )
+            candidates.append(lambda g=graph: ("pickle", g, None, budget))
+            for make in candidates:
+                try:
+                    entries[name] = pickle.dumps(make())
+                    break
+                except Exception:
+                    continue
+        return pickle.dumps(entries), frozenset(entries)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """The resident pool — created (and pre-warmed) at most once."""
@@ -564,6 +664,10 @@ class MiningSession:
             from .runner import _mp_context, _seed_worker
 
             payload, shipped = self._warm_payload()
+            # The seed payload initializes every worker, so it ships
+            # workers-many times; metered parent-side as bytes without
+            # tasks (it amortizes over the tasks it warms).
+            _counters.COUNTERS.record_payload(len(payload) * self.workers)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=_mp_context(),
@@ -578,10 +682,18 @@ class MiningSession:
         """Fail fast when a pool worker could not obtain *dataset*.
 
         Workers hold the graphs shipped at pool creation and can
-        self-load registry datasets; anything else — a custom graph added
-        (or a registry name shadowed by ``add_graph``) after the pool
-        started — would silently diverge or crash worker-side.
+        self-load registry datasets; anything else — a custom graph
+        added, or a shipped/known name re-bound, after the pool started —
+        would make the workers mine a different graph than the parent
+        holds, so both cases raise here instead of diverging silently.
         """
+        if dataset in self._rebound_after_pool:
+            raise RuntimeError(
+                f"graph {dataset!r} was re-bound after the resident pool "
+                f"started; the workers never received the new graph and "
+                f"would serve stale data — use a new name (or a new "
+                f"session) for the re-bound graph"
+            )
         if dataset in self._shipped or dataset in DATASETS:
             return
         raise RuntimeError(
@@ -641,11 +753,22 @@ class MiningSession:
         )
 
     def _run_batch(self, queries: Sequence[Query]) -> List[QueryResult]:
-        """Answer a batch — through the resident pool when workers > 1."""
+        """Answer a batch — through the resident pool when workers > 1.
+
+        Variants sharing a ``(dataset, backend, ordering)``
+        materialization (under identical kernel parameters and budgets)
+        are batched into **one** pool shard: the worker runs them
+        back-to-back against the same warm cache entry, and the batch
+        ships one task payload instead of one per variant.  Per-variant
+        counters come from the shard's telescoping per-cell deltas, so
+        they still sum exactly to what the shard cost; the shard's wall
+        clock is attributed to each of its variants (they completed
+        together).
+        """
         self._check_open()
         if self.workers <= 1 or not queries:
             return [self._run_query(q) for q in queries]
-        from .runner import _run_shard, accumulate_cache_stats
+        from .runner import _submit_shard, accumulate_cache_stats
 
         pool = self._ensure_pool()
         # Validate the whole batch before the first submission: a bad
@@ -657,35 +780,46 @@ class MiningSession:
             plan = query.plan()
             self._require_pool_dataset(query._dataset)
             compiled.append((query, plan))
+        groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+        for index, (query, plan) in enumerate(compiled):
+            backend, _, ordering = query.cell_spec()
+            key = (query._dataset, backend, ordering,
+                   _plan_shard_key(plan))
+            groups.setdefault(key, []).append(index)
         t0 = time.perf_counter()
         submitted = []
         done_at: Dict[int, float] = {}
-        for index, (query, plan) in enumerate(compiled):
-            future = pool.submit(_run_shard, plan, query._dataset,
-                                 [(0, query.cell_spec())])
+        for group_index, members in enumerate(groups.values()):
+            _, plan = compiled[members[0]]
+            shard = [(i, compiled[i][0].cell_spec()) for i in members]
+            future = _submit_shard(
+                pool, plan, compiled[members[0]][0]._dataset, shard
+            )
             # Stamp completion as it happens — collecting futures in
             # submission order below would otherwise charge early
             # finishers with their predecessors' wait time.
             future.add_done_callback(
-                lambda _f, i=index: done_at.setdefault(
-                    i, time.perf_counter()
+                lambda _f, g=group_index: done_at.setdefault(
+                    g, time.perf_counter()
                 )
             )
-            submitted.append((query, future))
-        results: List[QueryResult] = []
+            submitted.append((future, members))
+        results: List[Optional[QueryResult]] = [None] * len(compiled)
         deltas: List[Snapshot] = []
-        for index, (query, future) in enumerate(submitted):
+        for group_index, (future, members) in enumerate(submitted):
             shard = future.result()
-            wall = done_at.get(index, time.perf_counter()) - t0
+            wall = done_at.get(group_index, time.perf_counter()) - t0
             deltas.append(shard["counters"])
             accumulate_cache_stats(
                 self._worker_cache_stats, shard["pid"],
                 shard["cache_stats"],
             )
-            (_, cell), = shard["cells"]
-            results.append(self._result_from_cell(
-                query, cell, wall, shard["counters"], 0, 0,
-            ))
+            for (index, cell), cell_delta in zip(
+                shard["cells"], shard["cell_counters"]
+            ):
+                results[index] = self._result_from_cell(
+                    compiled[index][0], cell, wall, cell_delta, 0, 0,
+                )
         # One associative merge, folded into this process's global block —
         # the session totals come out identical to a sequential run of the
         # same batch, whatever the completion order.
@@ -716,10 +850,19 @@ class MiningSession:
         plan = replace(
             plan, workers=self.workers, schedule=self.schedule,
             cache_budget_bytes=self.cache_budget_bytes,
+            transport=self.transport,
         )
         if self.workers > 1:
             from .runner import run_plan_on_pool
 
+            if self._pool is None:
+                # Pull the plan's registry datasets into the store before
+                # the one-and-only pool start, so the graphs ride the
+                # session's transport (shared memory under "shm") instead
+                # of every worker re-loading them on first touch.
+                for dataset in plan.datasets:
+                    if dataset in DATASETS:
+                        self.load(dataset)
             pool = self._ensure_pool()
             for dataset in plan.datasets:
                 self._require_pool_dataset(dataset)
@@ -787,12 +930,18 @@ class MiningSession:
                 "point_ops": counters.point_ops,
                 "sketch_builds": counters.sketch_builds,
                 "memory_traffic": counters.memory_traffic,
+                "payload_bytes_shipped": counters.payload_bytes_shipped,
+                "payload_tasks": counters.payload_tasks,
             },
             "pool": {
                 "workers": self.workers,
                 "schedule": self.schedule,
+                "transport": self.transport,
                 "starts": self.pool_starts,
                 "resident": self._pool is not None,
+                "shm_bytes": (
+                    self._exporter.total_bytes() if self._exporter else 0
+                ),
             },
             "graphs": self.graphs(),
             "queries": self.queries_run,

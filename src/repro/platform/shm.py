@@ -1,0 +1,298 @@
+"""Zero-copy shared-memory transport for the parallel runtime.
+
+The resident worker pool historically shipped its pre-warm state —
+pickled :class:`~repro.graph.csr.CSRGraph` arrays and materialized
+:class:`~repro.graph.set_graph.SetGraph` neighborhoods — *by value* to
+every worker, so a ``workers=8`` pool copied the same megabytes eight
+times before the first task ran.  This module moves the arrays into
+named :mod:`multiprocessing.shared_memory` segments instead: the parent
+exports each array once, workers map the segments and reconstruct
+**read-only zero-copy views** via ``np.ndarray(buffer=...)``.  What
+crosses the process boundary is an :class:`ArrayRef` descriptor — a
+name, a dtype, and a shape — a few dozen bytes regardless of the array
+size (metered by ``Counters.payload_bytes_shipped``).
+
+Ownership and lifetime
+----------------------
+The parent-side :class:`SegmentExporter` owns every segment it creates:
+
+* exports are **refcounted** — exporting the same array again reuses the
+  segment and bumps its count; :meth:`SegmentExporter.release` drops a
+  count and unlinks at zero;
+* :meth:`SegmentExporter.close` (called by ``MiningSession.close()``)
+  force-unlinks everything and is idempotent;
+* a :func:`weakref.finalize` backstop unlinks at garbage collection or
+  interpreter exit if ``close()`` was never reached, and the stdlib
+  resource tracker covers hard crashes (SIGKILL) — so crashed runs do
+  not leak ``/dev/shm`` segments.
+
+Workers attach segments lazily through :func:`map_array` and keep the
+handles alive for the worker's lifetime (the views alias the mapping).
+Attaching never adopts unlink responsibility: on Python 3.13+ that is
+``track=False``; on earlier versions the attach does register with the
+resource tracker, but the pool's fork-start workers *share* the
+parent's tracker process, whose per-name cache is a set — so the
+duplicate registration is a no-op and the parent's unlink retires the
+single entry.  (Unregistering in the worker instead would cancel the
+parent's crash backstop and make the unlink-time unregister raise
+inside the tracker.)
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayRef",
+    "SegmentExporter",
+    "map_array",
+    "export_graph_payload",
+    "attach_graph_payload",
+]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Picklable descriptor of one exported array.
+
+    ``name`` is the shared-memory segment name (empty for a zero-length
+    array, which needs no segment); ``dtype``/``shape`` reconstruct the
+    view.  This is the *entire* cross-process payload for an array.
+    """
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting unlink responsibility.
+
+    Python 3.13+ has ``track=False``.  Earlier versions register every
+    attach with the resource tracker, but that is benign here: the
+    fork-start workers (and in-process test attaches) share the
+    *parent's* tracker, whose cache is a set keyed by segment name, so
+    the attach-time registration merely duplicates the exporter's own.
+    Unregistering would be actively wrong — it cancels the parent's
+    crash backstop and leaves the parent's unlink-time unregister
+    pointing at a name the tracker no longer holds.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        return shared_memory.SharedMemory(name=name)
+
+
+def _unlink_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
+    """Close + unlink every segment in *segments*; tolerate repeats."""
+    for segment in list(segments.values()):
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+    segments.clear()
+
+
+class SegmentExporter:
+    """Parent-side owner of the shared-memory segments of one session.
+
+    ``export_array`` copies an array into a fresh named segment exactly
+    once per array object (repeat exports are refcounted reuses) and
+    returns the :class:`ArrayRef` workers rebuild it from.  The exporter
+    pins the source arrays it has seen so a recycled ``id()`` can never
+    alias a stale dedupe entry.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._refs: Dict[str, int] = {}
+        self._by_source: Dict[int, Tuple[object, ArrayRef]] = {}
+        self._closed = False
+        # The GC/atexit backstop: unlink whatever close() never reached.
+        # Bound to the dict, not self, so the finalizer cannot keep the
+        # exporter alive.
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._segments
+        )
+
+    def export_array(self, array: np.ndarray) -> ArrayRef:
+        """Export *array* into a segment; return its descriptor."""
+        if self._closed:
+            raise RuntimeError("SegmentExporter is closed")
+        array = np.ascontiguousarray(array)
+        known = self._by_source.get(id(array))
+        if known is not None and known[0] is array:
+            self._refs[known[1].name] += 1
+            return known[1]
+        if array.nbytes == 0:
+            ref = ArrayRef("", str(array.dtype), tuple(array.shape))
+            return ref
+        segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        staged = np.ndarray(array.shape, dtype=array.dtype,
+                            buffer=segment.buf)
+        staged[...] = array
+        ref = ArrayRef(segment.name, str(array.dtype), tuple(array.shape))
+        self._segments[segment.name] = segment
+        self._refs[segment.name] = 1
+        self._by_source[id(array)] = (array, ref)
+        return ref
+
+    def release(self, ref: ArrayRef) -> None:
+        """Drop one reference to *ref*; unlink the segment at zero."""
+        if not ref.name or ref.name not in self._refs:
+            return
+        self._refs[ref.name] -= 1
+        if self._refs[ref.name] > 0:
+            return
+        del self._refs[ref.name]
+        segment = self._segments.pop(ref.name)
+        _unlink_segments({ref.name: segment})
+        for source_id, (_, known) in list(self._by_source.items()):
+            if known.name == ref.name:
+                del self._by_source[source_id]
+
+    def segment_names(self) -> List[str]:
+        """Names of the live segments (for leak checks)."""
+        return sorted(self._segments)
+
+    def total_bytes(self) -> int:
+        """Bytes resident in live segments (the zero-copy pool size)."""
+        return sum(segment.size for segment in self._segments.values())
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink every live segment.  Idempotent."""
+        _unlink_segments(self._segments)
+        self._refs.clear()
+        self._by_source.clear()
+        self._closed = True
+
+
+# ---------------------------------------------------------------------------
+# Worker (consumer) side.  Attached segments are cached per process and
+# stay alive for the process lifetime — the numpy views handed out alias
+# their mappings, so closing a handle would invalidate live arrays.
+# ---------------------------------------------------------------------------
+
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def map_array(ref: ArrayRef) -> np.ndarray:
+    """Map an :class:`ArrayRef` to a read-only zero-copy view."""
+    if not ref.name:
+        empty = np.empty(ref.shape, dtype=ref.dtype)
+        empty.flags.writeable = False
+        return empty
+    segment = _ATTACHED.get(ref.name)
+    if segment is None:
+        segment = _attach_segment(ref.name)
+        _ATTACHED[ref.name] = segment
+    view = np.ndarray(ref.shape, dtype=ref.dtype, buffer=segment.buf)
+    view.flags.writeable = False
+    return view
+
+
+def detach_all() -> None:
+    """Close every attached handle (tests; workers just exit instead)."""
+    for segment in _ATTACHED.values():
+        try:
+            segment.close()
+        except Exception:
+            pass
+    _ATTACHED.clear()
+
+
+# ---------------------------------------------------------------------------
+# Graph-payload conversion: MaterializationCache.export_graph_state in,
+# descriptor payload out (and back).  The CSR arrays and every exact
+# SetGraph ride shared memory; whatever cannot be flattened to arrays
+# stays inline (pickled with the descriptor payload, as before).
+# ---------------------------------------------------------------------------
+
+
+def export_graph_payload(exporter: SegmentExporter, graph,
+                         state: Optional[dict]) -> dict:
+    """Convert a graph + its exported cache state into shm descriptors.
+
+    *graph* is a :class:`~repro.graph.csr.CSRGraph`; *state* is an
+    :meth:`~repro.graph.set_graph.MaterializationCache.export_graph_state`
+    payload (or ``None`` for graph-only shipping).  CSR offsets/adjacency
+    always ride shared memory.  ``SetGraph`` entries whose backend is
+    exact are flattened to ``(offsets, values)`` member arrays and ride
+    shared memory too — workers rebuild neighborhoods as views into the
+    shared values array (zero-copy for sorted-array backends).  Sketch
+    entries stay inline: their members are not enumerable, and their
+    budget-derived classes were already excluded by the export.
+    """
+    from ..graph.set_graph import flatten_set_graph
+
+    payload = {
+        "csr": {
+            "offsets": exporter.export_array(graph.offsets),
+            "adjacency": exporter.export_array(graph.adjacency),
+            "directed": bool(graph.directed),
+        },
+        "orderings": dict(state["orderings"]) if state else {},
+        "graphs": {},
+    }
+    for subkey, sg in (state["graphs"] if state else {}).items():
+        if sg.set_cls.IS_EXACT:
+            offsets, values = flatten_set_graph(sg)
+            payload["graphs"][subkey] = (
+                "shm", sg.set_cls, bool(sg.directed),
+                exporter.export_array(offsets),
+                exporter.export_array(values),
+            )
+        else:
+            payload["graphs"][subkey] = ("inline", sg)
+    return payload
+
+
+def attach_graph_payload(payload: dict):
+    """Rebuild ``(CSRGraph, cache_state)`` from an exported payload.
+
+    The returned state dict is shaped for
+    :meth:`~repro.graph.set_graph.MaterializationCache.seed_graph_state`.
+    Mapped arrays are read-only views into the shared segments — the
+    rebuilt CSR graph and sorted-array neighborhoods copy nothing.
+    """
+    from ..graph.csr import CSRGraph
+    from ..graph.set_graph import unflatten_set_graph
+
+    csr = payload["csr"]
+    graph = CSRGraph(
+        map_array(csr["offsets"]), map_array(csr["adjacency"]),
+        directed=csr["directed"],
+    )
+    graphs = {}
+    for subkey, entry in payload["graphs"].items():
+        if entry[0] == "shm":
+            _, set_cls, directed, offsets_ref, values_ref = entry
+            graphs[subkey] = unflatten_set_graph(
+                map_array(offsets_ref), map_array(values_ref),
+                set_cls, directed=directed,
+            )
+        else:
+            graphs[subkey] = entry[1]
+    return graph, {"orderings": payload["orderings"], "graphs": graphs}

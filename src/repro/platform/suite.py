@@ -148,6 +148,7 @@ from .bench import print_table, write_artifact
 from .cli import (
     DISPATCH_MODES,
     RUNNER_SCHEDULES,
+    TRANSPORTS,
     add_dispatch_args,
     add_parallel_args,
     add_sketch_budget_args,
@@ -314,6 +315,11 @@ class ExperimentPlan:
     workers: int = 1
     schedule: str = "dynamic"
     cache_budget_bytes: int = 0
+    # Pool pre-warm transport: "pickle" copies graph state into every
+    # worker; "shm" ships shared-memory descriptors and workers map the
+    # arrays zero-copy (repro.platform.shm).  Cell payloads are identical
+    # either way — only the shipping cost changes.
+    transport: str = "pickle"
     # Set-op dispatch: "static" keeps each backend's own kernels,
     # "adaptive" swaps exact backends for the density-adaptive dispatcher
     # (the reference backend stays static so the cross-check pins the
@@ -362,6 +368,11 @@ class ExperimentPlan:
             raise ValueError(
                 f"unknown schedule {self.schedule!r}; "
                 f"known: {RUNNER_SCHEDULES}"
+            )
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"known: {TRANSPORTS}"
             )
         if self.dispatch not in DISPATCH_MODES:
             raise ValueError(
@@ -684,6 +695,7 @@ def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
             ExperimentPlan.smoke(),
             workers=ns.workers, schedule=ns.schedule,
             cache_budget_bytes=ns.cache_budget_bytes,
+            transport=ns.transport,
             dispatch=ns.dispatch,
         )
     return ExperimentPlan(
@@ -701,6 +713,7 @@ def _plan_from_namespace(ns: argparse.Namespace) -> ExperimentPlan:
         workers=ns.workers,
         schedule=ns.schedule,
         cache_budget_bytes=ns.cache_budget_bytes,
+        transport=ns.transport,
         dispatch=ns.dispatch,
     )
 

@@ -27,6 +27,7 @@ __all__ = [
     "simulate_makespan",
     "speedup_curve",
     "static_chunks",
+    "steal_count",
     "SCHEDULER_POLICIES",
 ]
 
@@ -74,6 +75,18 @@ def static_chunks(num_tasks: int, threads: int) -> List[Tuple[int, int]]:
         (start, min(start + chunk, num_tasks))
         for start in range(0, num_tasks, chunk)
     ]
+
+
+def steal_count(victim_remaining: int) -> int:
+    """Tasks a thief takes from a victim's deque — the steal-half rule.
+
+    Classic work stealing (Cilk/TBB) migrates half the victim's remaining
+    work per steal, amortizing the migration overhead over the stolen
+    batch.  Shared by the real work-stealing executor
+    (:mod:`repro.platform.runner`) so the measured policy and this model
+    agree on the migration granularity.
+    """
+    return max(1, victim_remaining // 2)
 
 
 def _static_makespan(costs: List[float], threads: int) -> float:

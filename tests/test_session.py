@@ -13,6 +13,7 @@ artifact is suite-diff-identical to the CLI artifact.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from functools import reduce
 
@@ -246,9 +247,18 @@ class TestResidentPool:
             Snapshot.merge, reversed(deltas), Snapshot.zero()
         )
         # Merge order cannot matter, and the merged total is exactly what
-        # the session absorbed into the parent's global block.
-        assert left == right == delta
+        # the session absorbed into the parent's global block — except the
+        # payload-shipping fields, which are parent-side transport
+        # accounting (one submit per shard group) and intentionally never
+        # attributed to individual variants.
+        assert left == right
+        assert left == dataclasses.replace(
+            delta, payload_bytes_shipped=0, payload_tasks=0
+        )
         assert delta.set_ops > 0
+        # Distinct backends cannot share a shard: one submit each.
+        assert delta.payload_tasks == len(variants)
+        assert delta.payload_bytes_shipped > 0
 
     def test_close_tears_down_the_pool(self):
         with MiningSession(workers=2) as session:
@@ -301,6 +311,70 @@ class TestResidentPool:
             session.query("tc").on("mine").run_many([{"backend": "bitset"}])
             with pytest.raises(RuntimeError, match="re-bound"):
                 session.add_graph("mine", load_dataset("gearbox-mini"))
+
+    def test_rebinding_after_pool_start_reports_divergence(self):
+        # A known name re-bound after the pool starts means the workers
+        # never saw the replacement graph.  The session must report the
+        # re-binding itself — not the generic not-shipped error, and
+        # never a silent worker-side fallback to something else.
+        with MiningSession(workers=2) as session:
+            session.query("tc").on("sc-ht-mini").run_many(
+                [{"backend": "bitset"}]
+            )
+            session.add_graph("late", load_dataset("antcolony5-mini"))
+            session.add_graph("late", load_dataset("gearbox-mini"))
+            with pytest.raises(RuntimeError, match="re-bound"):
+                session.query("tc").on("late").run_many(
+                    [{"backend": "bitset"}]
+                )
+
+    def test_unpicklable_graph_drops_only_its_own_warm_entry(self):
+        # The warm payload pickles per dataset: one graph that cannot
+        # cross the process boundary loses only its own entry, while
+        # every other custom graph still ships with full warm state.
+        class LocalGraph(type(load_dataset("sc-ht-mini"))):
+            pass  # locally defined: unpicklable by reference
+
+        good = load_dataset("antcolony5-mini")
+        base = load_dataset("sc-ht-mini")
+        weird = LocalGraph(base.offsets, base.adjacency,
+                           directed=base.directed)
+        with MiningSession(workers=2) as session:
+            session.add_graph("good", good)
+            session.add_graph("weird", weird)
+            results = session.query("tc").on("good").run_many(
+                [{"backend": "bitset"}]
+            )
+            assert results[0].value == triangle_count_node_iterator(good)
+            assert "good" in session._shipped
+            assert "weird" not in session._shipped
+            with pytest.raises(RuntimeError, match="not shipped"):
+                session.query("tc").on("weird").run_many(
+                    [{"backend": "bitset"}]
+                )
+
+    def test_run_many_batches_same_materialization_variants(self):
+        # Variants that share (dataset, backend, ordering) and the
+        # plan-level knobs ride ONE pool shard: a single submit (one
+        # payload task) whose per-cell counter deltas come back split
+        # per variant.
+        with MiningSession(workers=2) as session:
+            session.query("tc").on("sc-ht-mini").run_many(
+                [{"backend": "bitset"}]
+            )  # pool is up; later deltas are pure submits
+            before = _counters.snapshot()
+            results = session.query("bk").on("sc-ht-mini").backend(
+                "bitset").run_many([{"kernel": "4clique"}, {"kernel": "bk"}])
+            delta = before.delta(_counters.snapshot())
+            assert delta.payload_tasks == 1
+            assert len(results) == 2
+            assert all(r.counters.set_ops > 0 for r in results)
+            # Distinct orderings break the shard: two submits.
+            before = _counters.snapshot()
+            session.query("bk").on("sc-ht-mini").backend("bitset").run_many(
+                [{"ordering": "DGR"}, {"ordering": "ADG"}]
+            )
+            assert before.delta(_counters.snapshot()).payload_tasks == 2
 
     def test_backend_memo_tracks_graph_identity(self):
         # Re-binding a name to a different graph must re-resolve budgeted

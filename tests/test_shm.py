@@ -1,0 +1,267 @@
+"""Zero-copy shared-memory transport (platform/shm.py) and its session
+lifecycle.
+
+The contract under test: arrays exported by the parent come back as
+read-only zero-copy views with identical contents; the exporter owns
+every segment it creates (refcounted release, idempotent close, a
+finalize backstop) so a session that closes — normally, twice, or after
+a worker blew up mid-shard — never leaves a segment behind in
+``/dev/shm``; and, the acceptance criterion, a ``transport="shm"``
+session produces a suite artifact that is cell-by-cell identical to the
+pickle-transport and sequential runs while shipping an order of
+magnitude fewer payload bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import counters as _counters
+from repro.graph import load_dataset
+from repro.graph.set_graph import (
+    MaterializationCache,
+    flatten_set_graph,
+    unflatten_set_graph,
+)
+from repro.platform.runner import diff_payloads
+from repro.platform.session import MiningSession
+from repro.platform.shm import (
+    ArrayRef,
+    SegmentExporter,
+    attach_graph_payload,
+    detach_all,
+    export_graph_payload,
+    map_array,
+)
+from repro.platform.suite import ExperimentPlan
+from repro.core.sorted_set import SortedSet
+
+#: One dataset, every smoke kernel/backend/ordering — the identity plan.
+SHM_PLAN = replace(ExperimentPlan.smoke(), datasets=("sc-ht-mini",))
+
+
+def _segments_gone(names):
+    """True when none of *names* still exists under /dev/shm.
+
+    Checked against the session's own segment names (not a directory
+    snapshot diff) so concurrently running test shards cannot race the
+    assertion.
+    """
+    live = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+    return not (set(name.lstrip("/") for name in names) & live)
+
+
+@pytest.fixture
+def exporter():
+    exporter = SegmentExporter()
+    yield exporter
+    exporter.close()
+    detach_all()
+
+
+class TestArrayTransport:
+    def test_roundtrip_is_exact_and_readonly(self, exporter):
+        array = np.arange(1000, dtype=np.int64) * 3
+        ref = exporter.export_array(array)
+        view = map_array(ref)
+        np.testing.assert_array_equal(view, array)
+        assert view.dtype == array.dtype
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view[0] = 7
+
+    def test_ref_is_tiny_and_picklable(self, exporter):
+        import pickle
+
+        array = np.zeros(1 << 16, dtype=np.int64)  # 512 KiB of payload
+        ref = exporter.export_array(array)
+        blob = pickle.dumps(ref)
+        assert len(blob) < 200  # descriptor, not data
+        again = pickle.loads(blob)
+        assert again == ref
+        assert ref.nbytes == array.nbytes
+
+    def test_zero_length_arrays_need_no_segment(self, exporter):
+        ref = exporter.export_array(np.empty(0, dtype=np.float64))
+        assert ref.name == ""
+        assert exporter.segment_names() == []
+        view = map_array(ref)
+        assert view.shape == (0,)
+        assert view.dtype == np.float64
+
+    def test_repeat_export_is_refcounted_reuse(self, exporter):
+        array = np.arange(64, dtype=np.int64)
+        first = exporter.export_array(array)
+        second = exporter.export_array(array)
+        assert first == second
+        assert len(exporter.segment_names()) == 1
+        exporter.release(first)          # one ref still held
+        assert exporter.segment_names() == [first.name]
+        exporter.release(first)          # last ref: unlinked
+        assert exporter.segment_names() == []
+        assert _segments_gone([first.name])
+
+    def test_close_is_idempotent_and_unlinks_everything(self, exporter):
+        refs = [exporter.export_array(np.arange(n + 1, dtype=np.int64))
+                for n in range(3)]
+        names = exporter.segment_names()
+        assert len(names) == 3
+        exporter.close()
+        exporter.close()  # idempotent
+        assert exporter.closed
+        assert exporter.segment_names() == []
+        assert _segments_gone(names)
+        with pytest.raises(RuntimeError):
+            exporter.export_array(np.arange(4, dtype=np.int64))
+        assert all(ref.name for ref in refs)
+
+
+class TestSetGraphFlattening:
+    def test_flatten_unflatten_roundtrip(self):
+        graph = load_dataset("sc-ht-mini")
+        cache = MaterializationCache()
+        _, sg = cache.oriented(graph, SortedSet, "DGR")
+        offsets, values = flatten_set_graph(sg)
+        assert offsets[0] == 0 and offsets[-1] == len(values)
+        rebuilt = unflatten_set_graph(offsets, values, SortedSet,
+                                      directed=sg.directed)
+        assert rebuilt.num_nodes == sg.num_nodes
+        for v in range(sg.num_nodes):
+            np.testing.assert_array_equal(
+                rebuilt.out_neigh(v).to_array(),
+                sg.out_neigh(v).to_array(),
+            )
+
+    def test_graph_payload_roundtrip(self, exporter):
+        graph = load_dataset("sc-ht-mini")
+        cache = MaterializationCache()
+        cache.set_graph(graph, SortedSet)
+        cache.oriented(graph, SortedSet, "DGR")
+        state = cache.export_graph_state(graph)
+        payload = export_graph_payload(exporter, graph, state)
+        rebuilt, rebuilt_state = attach_graph_payload(payload)
+        np.testing.assert_array_equal(rebuilt.offsets, graph.offsets)
+        np.testing.assert_array_equal(rebuilt.adjacency, graph.adjacency)
+        assert rebuilt_state["orderings"] == state["orderings"]
+        assert set(rebuilt_state["graphs"]) == set(state["graphs"])
+        seeded = MaterializationCache()
+        seeded.seed_graph_state(rebuilt, rebuilt_state)
+
+
+class TestSessionLifecycle:
+    def test_close_unlinks_every_segment(self):
+        with MiningSession(workers=2, transport="shm") as session:
+            session.warm("sc-ht-mini", backends=("sorted", "bitset"))
+            session.query("tc").on("sc-ht-mini").run_many(
+                [{"backend": "bitset"}]
+            )
+            names = session._exporter.segment_names()
+            assert names  # the warm state really rode shared memory
+        assert _segments_gone(names)
+
+    def test_double_close_leaves_nothing(self):
+        session = MiningSession(workers=2, transport="shm")
+        session.warm("sc-ht-mini", backends=("sorted",))
+        session.query("tc").on("sc-ht-mini").run_many([{"backend": "sorted"}])
+        names = session._exporter.segment_names()
+        session.close()
+        session.close()
+        assert _segments_gone(names)
+
+    def test_worker_exception_mid_shard_does_not_leak(self, monkeypatch):
+        # Patch run_cell *before* the pool forks: the workers inherit the
+        # parent's memory, so their shard raises mid-flight.  The session
+        # must still tear down cleanly and unlink its segments.
+        import repro.platform.suite as suite_mod
+
+        def _boom(*args, **kwargs):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(suite_mod, "run_cell", _boom)
+        with MiningSession(workers=2, transport="shm") as session:
+            session.warm("sc-ht-mini", backends=("sorted",))
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                session.query("tc").on("sc-ht-mini").run_many(
+                    [{"backend": "sorted"}]
+                )
+            names = session._exporter.segment_names()
+            assert names
+        assert _segments_gone(names)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            MiningSession(transport="carrier-pigeon")
+
+
+class TestTransportIdentity:
+    @pytest.fixture(scope="class")
+    def sequential_payload(self):
+        with MiningSession() as session:
+            return session.run_plan(SHM_PLAN)[0]
+
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "stealing"])
+    def test_shm_artifact_identical_up_to_timing(self, sequential_payload,
+                                                 schedule):
+        # The acceptance gate: transport is invisible in the artifact.
+        with MiningSession(workers=2, schedule=schedule,
+                           transport="shm") as session:
+            session.warm("sc-ht-mini", backends=("sorted", "bitset"),
+                         orderings=("DGR",))
+            payload = session.run_plan(SHM_PLAN)[0]
+        assert diff_payloads(sequential_payload, payload) == []
+
+    def test_shm_ships_fewer_payload_bytes_than_pickle(self):
+        shipped = {}
+        for transport in ("pickle", "shm"):
+            before = _counters.snapshot()
+            with MiningSession(workers=2, schedule="static",
+                               transport=transport) as session:
+                session.warm("sc-ht-mini", backends=("sorted", "bitset"),
+                             orderings=("DGR",))
+                session.run_plan(SHM_PLAN)
+            shipped[transport] = before.delta(
+                _counters.snapshot()).payload_bytes_shipped
+        # Same plan, same warm state: the descriptor payload must be an
+        # order of magnitude lighter than shipping the arrays by value.
+        assert shipped["shm"] * 10 <= shipped["pickle"]
+
+
+class TestWorkerDatasetLru:
+    def test_eviction_honors_capacity_recency_and_pins(self, monkeypatch):
+        # The in-process replica of a pool worker's dataset LRU: fill to
+        # capacity, pin one custom entry, then churn past the bound.
+        from repro.platform import runner
+
+        monkeypatch.setattr(runner, "_WORKER_STATE", runner.OrderedDict())
+        monkeypatch.setattr(runner, "_WORKER_PINNED", set())
+        monkeypatch.setattr(runner, "_WORKER_BACKENDS", {})
+        plan = ExperimentPlan()
+        cache = MaterializationCache()
+        runner._WORKER_STATE["mine"] = (load_dataset("antcolony5-mini"),
+                                        cache)
+        runner._WORKER_PINNED.add("mine")
+        fill = ("sc-ht-mini", "antcolony6-mini", "jester2-mini")
+        for name in fill:
+            runner._worker_dataset(plan, name)
+        assert len(runner._WORKER_STATE) == runner._WORKER_DATASET_CAPACITY
+        # A hit refreshes recency: sc-ht-mini is no longer the LRU.
+        runner._worker_dataset(plan, "sc-ht-mini")
+        runner._WORKER_BACKENDS[("antcolony6-mini", "sorted")] = SortedSet
+        runner._worker_dataset(plan, "mbeacxc-mini")
+        assert len(runner._WORKER_STATE) == runner._WORKER_DATASET_CAPACITY
+        assert "mine" in runner._WORKER_STATE          # pinned survives
+        assert "sc-ht-mini" in runner._WORKER_STATE    # recently used
+        assert "antcolony6-mini" not in runner._WORKER_STATE  # true LRU
+        # The victim's memoized backends left with it.
+        assert not any(k[0] == "antcolony6-mini"
+                       for k in runner._WORKER_BACKENDS)
+        # Churn far past capacity: the bound and the pin both keep holding.
+        for name in ("gearbox-mini", "jester2-mini", "antcolony6-mini"):
+            runner._worker_dataset(plan, name)
+            assert len(runner._WORKER_STATE) <= \
+                runner._WORKER_DATASET_CAPACITY
+        assert "mine" in runner._WORKER_STATE

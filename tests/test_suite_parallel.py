@@ -1,7 +1,8 @@
 """The parallel experiment-suite runtime (platform/runner.py).
 
 The contract under test: sharding the plan's cells across a process pool
-— under either chunking policy — produces an artifact that is
+— under any of the three scheduling policies, work stealing included —
+produces an artifact that is
 cell-by-cell identical to the sequential run on every deterministic field
 (counts, software counters, cross-check anchors, extras), with only the
 wall-clock measurements free to differ.  Plus the sharding policies
@@ -45,15 +46,15 @@ def sequential_payload():
 
 @pytest.fixture(scope="module")
 def parallel_payloads():
-    """workers=4 runs of the same plan, one per chunking policy."""
+    """workers=4 runs of the same plan, one per scheduling policy."""
     return {
         schedule: run_suite(replace(PLAN, workers=4, schedule=schedule))[0]
-        for schedule in ("static", "dynamic")
+        for schedule in ("static", "dynamic", "stealing")
     }
 
 
 class TestDeterminism:
-    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "stealing"])
     def test_parallel_artifact_identical_up_to_timing(
         self, sequential_payload, parallel_payloads, schedule
     ):
@@ -64,7 +65,7 @@ class TestDeterminism:
             sequential_payload, parallel_payloads[schedule]
         ) == []
 
-    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "stealing"])
     def test_cell_order_is_canonical(
         self, sequential_payload, parallel_payloads, schedule
     ):
@@ -97,7 +98,7 @@ class TestDeterminism:
 
 
 class TestParallelExecutionBlock:
-    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "stealing"])
     def test_measured_and_modeled_recorded(
         self, parallel_payloads, schedule
     ):
@@ -149,7 +150,9 @@ class TestSharding:
         with pytest.raises(ValueError, match="workers"):
             run_suite(replace(PLAN, workers=0))
         with pytest.raises(ValueError, match="schedule"):
-            run_suite_parallel(replace(PLAN, workers=2, schedule="stealing"))
+            run_suite_parallel(replace(PLAN, workers=2, schedule="guided"))
+        with pytest.raises(ValueError, match="transport"):
+            run_suite(replace(PLAN, transport="rdma"))
 
 
 class TestSuiteDiffCommand:
