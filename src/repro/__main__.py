@@ -25,7 +25,12 @@ Commands
 ``serve``               session REPL: one long-lived ``MiningSession``
                         (shared materialization cache, resident
                         ``--workers N`` pool) answers ``query``/``suite``
-                        lines from stdin — repeated queries are warm
+                        lines from stdin — repeated queries are warm;
+                        ``--http PORT`` serves the same session over
+                        asyncio HTTP/JSON instead (``POST /query``,
+                        ``POST /suite`` jobs, ``GET /jobs/<id>``,
+                        ``GET /stats``) with admission control and
+                        per-tenant quotas
 ``aggregate``           merge suite + budget-sweep artifacts into
                         ``results/aggregate.json`` (per-backend
                         speed-vs-accuracy summaries + measured-vs-modeled
@@ -132,7 +137,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="session REPL: serve repeated query/suite lines from one "
-             "long-lived MiningSession (resident --workers N pool)",
+             "long-lived MiningSession (resident --workers N pool); "
+             "--http PORT serves HTTP/JSON instead",
         add_help=False,
     )
     p.add_argument("rest", nargs=argparse.REMAINDER)

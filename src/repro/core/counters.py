@@ -74,11 +74,19 @@ class Counters:
         payload_tasks`` is the bench's payload-bytes-per-task metric
         (seed payloads count bytes but not tasks, so they amortize over
         the tasks they warm).
+    shm_suppressed:
+        Cleanup failures the shared-memory transport swallowed on
+        purpose (segment close/unlink errors during teardown, where
+        raising would mask the original failure or break idempotent
+        close).  Each suppression is also logged at DEBUG by
+        :mod:`repro.platform.shm`; this counter is the cheap always-on
+        signal that leaked-segment diagnostics should go look there.
+        Process-local (not part of :class:`Snapshot` deltas).
     """
 
     __slots__ = ("set_ops", "point_ops", "elements_read", "elements_written",
                  "sketch_builds", "words_scanned", "payload_bytes_shipped",
-                 "payload_tasks")
+                 "payload_tasks", "shm_suppressed")
 
     def __init__(self) -> None:
         self.reset()
@@ -93,6 +101,7 @@ class Counters:
         self.words_scanned: Dict[str, int] = {}
         self.payload_bytes_shipped = 0
         self.payload_tasks = 0
+        self.shm_suppressed = 0
 
     # The record methods are deliberately tiny: they sit on the hot path
     # of every set operation.
@@ -124,6 +133,10 @@ class Counters:
         """
         self.payload_bytes_shipped += nbytes
         self.payload_tasks += tasks
+
+    def record_suppressed(self) -> None:
+        """Record one deliberately-swallowed shm cleanup failure."""
+        self.shm_suppressed += 1
 
     def absorb(self, delta: "Snapshot") -> None:
         """Fold a :class:`Snapshot` delta into this block.

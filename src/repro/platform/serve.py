@@ -27,13 +27,28 @@ artifacts; ``stats`` dumps the session's cache/counter/pool stats as
 JSON.  A malformed line (unknown command, bad query option, unparsable
 suite flags) fails that request, not the session.  Exit status is
 nonzero if any suite run failed its exact-backend cross-check or any
-line failed.
+line failed.  Request failures print one line to stderr; the full
+traceback is logged at DEBUG (``--verbose`` enables it) so a long-lived
+session stays diagnosable without drowning the operator.
+
+Migration note (REPL → HTTP)
+----------------------------
+The line-oriented REPL is the single-operator face of the session.  For
+anything programmatic — remote clients, concurrent callers, tenancy,
+long-running suite jobs you poll instead of block on — use the network
+front door instead: ``python -m repro serve --http PORT`` serves the
+same session over asyncio HTTP/JSON (:mod:`repro.platform.http`), with
+``POST /query`` replacing ``query`` lines, ``POST /suite`` +
+``GET /jobs/<id>`` replacing ``suite`` lines, and ``GET /stats``
+replacing ``stats``.  The REPL remains for interactive use and the CI
+session smoke; new automation should target ``--http``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import shlex
 import sys
 from typing import IO, List, Optional
@@ -44,6 +59,8 @@ from .session import MiningSession
 from .suite import SUITE_KERNELS, plan_from_argv, report_payloads
 
 __all__ = ["build_serve_parser", "serve_main"]
+
+logger = logging.getLogger(__name__)
 
 _PROMPT = "gms> "
 
@@ -62,6 +79,28 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-prompt", action="store_true",
                         help="suppress the interactive prompt (script mode)")
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--http", type=int, default=None, metavar="PORT",
+                        help="serve HTTP/JSON on PORT instead of the REPL "
+                             "(asyncio front door: POST /query, POST /suite "
+                             "jobs, GET /jobs/<id>, GET /stats, GET /healthz)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address for --http (default 127.0.0.1)")
+    parser.add_argument("--max-inflight", type=int, default=4,
+                        help="--http admission control: requests allowed "
+                             "in service at once before the backlog fills")
+    parser.add_argument("--admission-backlog", type=int, default=16,
+                        help="--http admission control: admitted-but-queued "
+                             "requests beyond --max-inflight before 429s")
+    parser.add_argument("--max-pending-jobs", type=int, default=8,
+                        help="--http: queued suite jobs before submissions "
+                             "get 429")
+    parser.add_argument("--tenants", default=None, metavar="PATH",
+                        help="--http: JSON file mapping tenant name -> "
+                             "quotas (max_bloom_bits, max_cache_bytes, "
+                             "worker_share); unknown tenants are unlimited")
+    parser.add_argument("--job-root", default=None, metavar="DIR",
+                        help="--http: persistent job store directory "
+                             "(default results/jobs)")
     return parser
 
 
@@ -118,6 +157,12 @@ def serve_main(argv: Optional[List[str]] = None,
     *stdin* overrides the input stream (tests feed an ``io.StringIO``).
     """
     ns = build_serve_parser().parse_args(argv)
+    if ns.verbose:
+        logging.basicConfig(level=logging.DEBUG)
+    if ns.http is not None:
+        from .http import serve_http
+
+        return serve_http(ns)
     stream = stdin if stdin is not None else sys.stdin
     interactive = (
         not ns.no_prompt and stream is sys.stdin
@@ -186,13 +231,20 @@ def serve_main(argv: Optional[List[str]] = None,
             except Exception as exc:
                 # Any request-level failure — bad input, a kernel raising,
                 # artifact I/O — fails that request, never the session.
+                # One line for the operator; the full traceback goes to
+                # the DEBUG log so failures stay diagnosable after the
+                # fact without spamming every typo.
                 failures += 1
+                logger.debug("request failed: %r", line, exc_info=True)
                 print(f"error: {type(exc).__name__}: {exc}",
                       file=sys.stderr)
         stats = session.stats()
         worker_note = ""
-        if stats["worker_caches"]:
-            workers = stats["worker_caches"]
+        # A pool that never started reports no worker caches (None — or
+        # no key at all from an older/stubbed stats dict): the closing
+        # line must survive both.
+        workers = stats.get("worker_caches")
+        if workers:
             worker_note = (f", worker caches {workers['hits']} hits / "
                            f"{workers['misses']} misses")
         print(

@@ -216,6 +216,7 @@ class Query:
     _OVERRIDE_KEYS = (
         "kernel", "dataset", "backend", "ordering", "k", "eps", "repeats",
         "fpr", "bits", "shared_bits", "kmv_k", "dispatch",
+        "cache_budget_bytes",
     )
 
     def __init__(self, session: "MiningSession", kernel: str, *,
@@ -237,6 +238,7 @@ class Query:
         self._bloom_shared_bits = 0
         self._bloom_fpr = 0.0
         self._dispatch = "static"
+        self._cache_budget: Optional[int] = None
 
     def _clone(self) -> "Query":
         clone = Query.__new__(Query)
@@ -305,6 +307,20 @@ class Query:
         clone._repeats = max(1, n)
         return clone
 
+    def cache_budget(self, nbytes: int) -> "Query":
+        """Override the plan's worker-cache byte budget for this query.
+
+        The session's own shared cache keeps the budget it was built
+        with; this knob rides the compiled plan into *pool workers*
+        (each worker's per-dataset :class:`MaterializationCache` is
+        bounded by the plan budget), which is how the HTTP tier threads
+        a tenant's cache-bytes quota into pool-served requests.  ``0``
+        means unbounded; the default inherits the session budget.
+        """
+        clone = self._clone()
+        clone._cache_budget = max(0, int(nbytes))
+        return clone
+
     def with_overrides(self, overrides: Mapping[str, object]) -> "Query":
         """Apply a :meth:`run_many` variant dict to this query."""
         unknown = set(overrides) - set(self._OVERRIDE_KEYS)
@@ -354,6 +370,8 @@ class Query:
             query = query.repeats(int(overrides["repeats"]))
         if "dispatch" in overrides:
             query = query.dispatch(str(overrides["dispatch"]))
+        if "cache_budget_bytes" in overrides:
+            query = query.cache_budget(int(overrides["cache_budget_bytes"]))
         return query
 
     # -- compilation --------------------------------------------------------
@@ -377,7 +395,10 @@ class Query:
             bloom_fpr=self._bloom_fpr,
             workers=session.workers,
             schedule=session.schedule,
-            cache_budget_bytes=session.cache_budget_bytes,
+            cache_budget_bytes=(
+                session.cache_budget_bytes if self._cache_budget is None
+                else self._cache_budget
+            ),
             dispatch=self._dispatch,
         )
 
@@ -627,8 +648,10 @@ class MiningSession:
         descriptor entry first (``transport="shm"``, plain ``CSRGraph``
         only — a subclass would lose its behavior in the worker-side
         rebuild), then full state by value, then graph-only.  A segment
-        exported for an entry whose pickling then fails is not released
-        eagerly; :meth:`close`'s exporter teardown reclaims it.
+        exported for an entry whose pickling then fails is released
+        *before* the fallback candidate runs (:meth:`_shm_entry`), so a
+        dataset that ends up shipping by pickle never parks dead
+        segments in ``/dev/shm`` for the session's lifetime.
         """
         budget = self.cache_budget_bytes or None
         entries: Dict[str, bytes] = {}
@@ -636,26 +659,45 @@ class MiningSession:
             state = self.cache.export_graph_state(graph)
             candidates = []
             if self.transport == "shm" and type(graph) is CSRGraph:
-                from .shm import export_graph_payload
-
                 candidates.append(
-                    lambda g=graph, s=state: (
-                        "shm",
-                        export_graph_payload(self._ensure_exporter(), g, s),
-                        budget,
-                    )
+                    lambda g=graph, s=state: self._shm_entry(g, s, budget)
                 )
             candidates.append(
-                lambda g=graph, s=state: ("pickle", g, s, budget)
+                lambda g=graph, s=state: pickle.dumps(
+                    ("pickle", g, s, budget)
+                )
             )
-            candidates.append(lambda g=graph: ("pickle", g, None, budget))
+            candidates.append(
+                lambda g=graph: pickle.dumps(("pickle", g, None, budget))
+            )
             for make in candidates:
                 try:
-                    entries[name] = pickle.dumps(make())
+                    entries[name] = make()
                     break
                 except Exception:
                     continue
         return pickle.dumps(entries), frozenset(entries)
+
+    def _shm_entry(self, graph: CSRGraph, state: Optional[dict],
+                   budget: Optional[int]) -> bytes:
+        """One dataset's shared-memory warm-payload blob.
+
+        Exports the graph + materialization arrays into the session's
+        segments, then pickles the descriptor entry.  If that pickling
+        fails (e.g. a runtime-defined set class rode along in *state*),
+        the references the export just took are released again before
+        the error propagates to the fallback chain — the failed
+        candidate must not leave segments pinned until :meth:`close`.
+        """
+        from .shm import export_graph_payload, release_graph_payload
+
+        exporter = self._ensure_exporter()
+        payload = export_graph_payload(exporter, graph, state)
+        try:
+            return pickle.dumps(("shm", payload, budget))
+        except Exception:
+            release_graph_payload(exporter, payload)
+            raise
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         """The resident pool — created (and pre-warmed) at most once."""
@@ -830,7 +872,10 @@ class MiningSession:
     # -- plan execution (the suite path) ------------------------------------
 
     def run_plan(self, plan: ExperimentPlan,
-                 verbose: Optional[bool] = None) -> List[Dict[str, object]]:
+                 verbose: Optional[bool] = None, *,
+                 max_workers: Optional[int] = None,
+                 cache_budget_bytes: Optional[int] = None,
+                 ) -> List[Dict[str, object]]:
         """Execute a declarative :class:`ExperimentPlan` through the session.
 
         The session's execution knobs (``workers``/``schedule``/
@@ -843,16 +888,31 @@ class MiningSession:
         without inheriting earlier runs' counts; payloads are
         cell-by-cell identical to the historical ``run_suite`` ones up to
         timing and materialization stats.
+
+        ``max_workers`` clamps *this plan's* logical worker count to at
+        most the session's (never below 1) without resizing the resident
+        pool — a plan clamped to 1 runs sequentially in-process; a plan
+        clamped to ``k < workers`` shards as if the pool had ``k``
+        workers.  ``cache_budget_bytes`` likewise overrides the byte
+        budget the plan carries into pool workers.  Both exist so a
+        multi-tenant front end (``repro serve --http``) can thread
+        per-tenant worker-share and cache quotas into individual plans.
         """
         self._check_open()
         verbose = self.verbose if verbose is None else verbose
         plan.validate_execution()
+        workers = self.workers
+        if max_workers is not None:
+            workers = max(1, min(workers, int(max_workers)))
         plan = replace(
-            plan, workers=self.workers, schedule=self.schedule,
-            cache_budget_bytes=self.cache_budget_bytes,
+            plan, workers=workers, schedule=self.schedule,
+            cache_budget_bytes=(
+                self.cache_budget_bytes if cache_budget_bytes is None
+                else max(0, int(cache_budget_bytes))
+            ),
             transport=self.transport,
         )
-        if self.workers > 1:
+        if workers > 1:
             from .runner import run_plan_on_pool
 
             if self._pool is None:
@@ -942,6 +1002,7 @@ class MiningSession:
                 "shm_bytes": (
                     self._exporter.total_bytes() if self._exporter else 0
                 ),
+                "shm_suppressed": _counters.COUNTERS.shm_suppressed,
             },
             "graphs": self.graphs(),
             "queries": self.queries_run,

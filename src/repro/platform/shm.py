@@ -40,6 +40,7 @@ inside the tracker.)
 
 from __future__ import annotations
 
+import logging
 import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -47,13 +48,33 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..core import counters as _counters
+
 __all__ = [
     "ArrayRef",
     "SegmentExporter",
     "map_array",
     "export_graph_payload",
     "attach_graph_payload",
+    "release_graph_payload",
 ]
+
+logger = logging.getLogger(__name__)
+
+
+def _suppress(operation: str, name: str, exc: Exception) -> None:
+    """Swallow one cleanup failure *loudly enough to diagnose later*.
+
+    Teardown paths must not raise (close is idempotent and often runs
+    from finalizers), but silently dropping the error leaves leaked-
+    segment investigations blind.  Every suppression is logged at DEBUG
+    with the traceback and bumps ``Counters.shm_suppressed`` so the
+    session stats reveal that *something* was swallowed even when DEBUG
+    logging was off at the time.
+    """
+    _counters.COUNTERS.record_suppressed()
+    logger.debug("suppressed shm %s failure for segment %r: %s",
+                 operation, name, exc, exc_info=True)
 
 
 @dataclass(frozen=True)
@@ -97,17 +118,17 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 
 def _unlink_segments(segments: Dict[str, shared_memory.SharedMemory]) -> None:
     """Close + unlink every segment in *segments*; tolerate repeats."""
-    for segment in list(segments.values()):
+    for name, segment in list(segments.items()):
         try:
             segment.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            _suppress("close", name, exc)
         try:
             segment.unlink()
         except FileNotFoundError:
-            pass
-        except Exception:
-            pass
+            pass  # already unlinked (repeat close) — the expected case
+        except Exception as exc:
+            _suppress("unlink", name, exc)
     segments.clear()
 
 
@@ -215,11 +236,11 @@ def map_array(ref: ArrayRef) -> np.ndarray:
 
 def detach_all() -> None:
     """Close every attached handle (tests; workers just exit instead)."""
-    for segment in _ATTACHED.values():
+    for name, segment in _ATTACHED.items():
         try:
             segment.close()
-        except Exception:
-            pass
+        except Exception as exc:
+            _suppress("detach", name, exc)
     _ATTACHED.clear()
 
 
@@ -296,3 +317,23 @@ def attach_graph_payload(payload: dict):
         else:
             graphs[subkey] = entry[1]
     return graph, {"orderings": payload["orderings"], "graphs": graphs}
+
+
+def release_graph_payload(exporter: SegmentExporter, payload: dict) -> None:
+    """Drop the exporter references an :func:`export_graph_payload` took.
+
+    The inverse bookkeeping of one export call: every :class:`ArrayRef`
+    the payload carries — the CSR pair plus each shm-shipped
+    ``SetGraph``'s member arrays — has one reference released, so a
+    payload that was exported but then never shipped (e.g. the warm-
+    payload builder's pickling failed after the export succeeded) frees
+    its segments *now* instead of squatting in ``/dev/shm`` until the
+    session closes.  Segments still referenced by other payloads (the
+    exporter dedupes repeat exports) survive.
+    """
+    for ref in (payload["csr"]["offsets"], payload["csr"]["adjacency"]):
+        exporter.release(ref)
+    for entry in payload["graphs"].values():
+        if entry[0] == "shm":
+            exporter.release(entry[3])
+            exporter.release(entry[4])

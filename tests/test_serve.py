@@ -115,3 +115,39 @@ class TestServe:
         monkeypatch.setattr("sys.stdin", io.StringIO("quit\n"))
         assert main(["serve", "--no-prompt"]) == 0
         assert "session ready" in capsys.readouterr().out
+
+
+class TestServeDiagnostics:
+    def test_request_failure_logs_traceback_at_debug(self, caplog, capsys):
+        import logging
+
+        with caplog.at_level(logging.DEBUG, logger="repro.platform.serve"):
+            code = _serve("query tc no-such-dataset\nquit\n")
+        assert code == 1
+        # One line for the operator on stderr...
+        assert "error:" in capsys.readouterr().err
+        # ...and the full traceback in the DEBUG log.
+        failures = [r for r in caplog.records
+                    if "request failed" in r.message]
+        assert failures and all(r.exc_info for r in failures)
+
+    def test_closing_stats_survive_missing_worker_caches(
+        self, monkeypatch, capsys
+    ):
+        # A stats dict with no worker_caches key (older/stubbed session)
+        # must not crash the closing line.
+        from repro.platform.session import MiningSession
+
+        original = MiningSession.stats
+
+        def stripped(self):
+            stats = original(self)
+            stats.pop("worker_caches", None)
+            return stats
+
+        monkeypatch.setattr(MiningSession, "stats", stripped)
+        code = _serve("query tc sc-ht-mini backend=bitset\nquit\n")
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "session closing: 1 query(ies)" in out
+        assert "worker caches" not in out

@@ -265,3 +265,137 @@ class TestWorkerDatasetLru:
             assert len(runner._WORKER_STATE) <= \
                 runner._WORKER_DATASET_CAPACITY
         assert "mine" in runner._WORKER_STATE
+
+
+class _ExplodingSegment:
+    """A segment whose teardown fails every way it can."""
+
+    size = 0
+
+    def close(self):
+        raise OSError("close boom")
+
+    def unlink(self):
+        raise OSError("unlink boom")
+
+
+class TestSuppressedCleanupFailures:
+    def test_teardown_failures_are_counted_and_logged(self, caplog):
+        import logging
+
+        from repro.platform.shm import _unlink_segments
+
+        before = _counters.COUNTERS.shm_suppressed
+        segments = {"gms-test-boom": _ExplodingSegment()}
+        with caplog.at_level(logging.DEBUG, logger="repro.platform.shm"):
+            _unlink_segments(segments)  # must not raise
+        # One suppression per swallowed failure: close + unlink.
+        assert _counters.COUNTERS.shm_suppressed == before + 2
+        assert segments == {}
+        records = [r for r in caplog.records
+                   if "suppressed shm" in r.message]
+        assert {("close" in r.message, "unlink" in r.message)
+                for r in records} == {(True, False), (False, True)}
+        # The traceback rides along for post-hoc diagnosis.
+        assert all(r.exc_info for r in records)
+
+    def test_repeat_unlink_stays_silent(self):
+        # FileNotFoundError on unlink is the *expected* idempotent-close
+        # case and must not inflate the suppression signal.
+        exporter = SegmentExporter()
+        exporter.export_array(np.arange(8, dtype=np.int64))
+        before = _counters.COUNTERS.shm_suppressed
+        exporter.close()
+        exporter.close()
+        assert _counters.COUNTERS.shm_suppressed == before
+
+    def test_suppressions_surface_in_session_stats(self):
+        before = _counters.COUNTERS.shm_suppressed
+        _counters.COUNTERS.record_suppressed()
+        try:
+            with MiningSession() as session:
+                assert session.stats()["pool"]["shm_suppressed"] == \
+                    before + 1
+        finally:
+            _counters.COUNTERS.shm_suppressed = before
+
+
+class TestReleaseGraphPayload:
+    def test_release_unlinks_what_export_created(self):
+        from repro.platform.shm import (
+            export_graph_payload,
+            release_graph_payload,
+        )
+
+        graph = load_dataset("sc-ht-mini")
+        exporter = SegmentExporter()
+        payload = export_graph_payload(exporter, graph, None)
+        assert exporter.segment_names() != []
+        release_graph_payload(exporter, payload)
+        assert exporter.segment_names() == []
+        exporter.close()
+
+    def test_release_is_refcounted_not_destructive(self):
+        # Two payloads sharing the same source arrays: releasing one must
+        # leave the other's segments alive (dedupe hands out refcounted
+        # reuses, and release drops exactly the refs export took).
+        from repro.platform.shm import (
+            export_graph_payload,
+            map_array,
+            release_graph_payload,
+        )
+
+        graph = load_dataset("sc-ht-mini")
+        exporter = SegmentExporter()
+        first = export_graph_payload(exporter, graph, None)
+        second = export_graph_payload(exporter, graph, None)
+        release_graph_payload(exporter, first)
+        survivors = exporter.segment_names()
+        assert survivors != []
+        offsets = map_array(second["csr"]["offsets"])
+        assert offsets[-1] == graph.num_edges * 2
+        release_graph_payload(exporter, second)
+        assert exporter.segment_names() == []
+        exporter.close()
+
+
+class TestWarmPayloadLeakRegression:
+    def test_failed_shm_entry_releases_segments_before_fallback(
+        self, monkeypatch
+    ):
+        """The PR-8 leak: shm export succeeded, entry pickling failed,
+        the fallback shipped by pickle — and the dead segments stayed
+        pinned in the exporter until close().  The failed candidate must
+        release every reference it took."""
+        import pickle as real_pickle
+
+        import repro.platform.session as session_mod
+
+        class _FailShmTuples:
+            @staticmethod
+            def dumps(obj, *args, **kwargs):
+                if isinstance(obj, tuple) and obj and obj[0] == "shm":
+                    raise RuntimeError("simulated entry-pickle failure")
+                return real_pickle.dumps(obj, *args, **kwargs)
+
+            loads = staticmethod(real_pickle.loads)
+
+        session = MiningSession(workers=2, transport="shm")
+        try:
+            session.load("sc-ht-mini")
+            session.warm("sc-ht-mini", backends=("sorted",),
+                         orderings=("DGR",))
+            monkeypatch.setattr(session_mod, "pickle", _FailShmTuples)
+            payload, shipped = session._warm_payload()
+            # The dataset still shipped — by value, via the fallback.
+            assert shipped == frozenset({"sc-ht-mini"})
+            entries = real_pickle.loads(payload)
+            transport = real_pickle.loads(entries["sc-ht-mini"])[0]
+            assert transport == "pickle"
+            # The shm candidate ran (the exporter exists) and cleaned up
+            # after itself: zero segments left pinned for the session's
+            # lifetime.
+            assert session._exporter is not None
+            assert session._exporter.segment_names() == []
+        finally:
+            session.close()
