@@ -35,6 +35,12 @@ Commands
                         ``results/aggregate.json`` (per-backend
                         speed-vs-accuracy summaries + measured-vs-modeled
                         parallel speedups)
+``lint``                AST-based invariant analyzer (``repro.analysis``):
+                        GMS001 set-algebra purity, GMS002 counter
+                        discipline, GMS003 resource lifecycle, GMS004
+                        silent suppression, GMS005 determinism, GMS006
+                        deprecated shims; ``--format json`` emits the
+                        ``gms-lint/v1`` artifact the CI gate diffs
 """
 
 from __future__ import annotations
@@ -135,6 +141,15 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("rest", nargs=argparse.REMAINDER)
 
     p = sub.add_parser(
+        "lint",
+        help="AST-based invariant analyzer: set-algebra purity, counter "
+             "discipline, resource lifecycle, silent suppression, "
+             "determinism, deprecated shims (gms-lint/v1 artifact)",
+        add_help=False,
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER)
+
+    p = sub.add_parser(
         "serve",
         help="session REPL: serve repeated query/suite lines from one "
              "long-lived MiningSession (resident --workers N pool); "
@@ -179,6 +194,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .platform.serve import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # The analyzer is stdlib-only and owns its full parser (paths,
+        # rule selection, baseline flags) — forwarded like the suite.
+        from .analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
 
     if args.command == "datasets":

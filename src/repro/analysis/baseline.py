@@ -1,0 +1,108 @@
+"""Baseline file support — grandfathered findings that do not gate.
+
+The committed baseline (``lint_baseline.json`` at the repo root) lists
+findings that predate a rule and are accepted as-is; ``repro lint``
+exits non-zero only for findings *not* in the baseline, so CI gates on
+new violations while the grandfathered ones stay visible in the
+artifact (tagged ``"baselined": true``) until someone fixes them and
+shrinks the file.
+
+Matching is by :meth:`~repro.analysis.findings.Finding.baseline_key` —
+``(rule, path, message)``, no line numbers — and multiset-aware: two
+identical findings need two baseline entries, so a baselined file
+cannot silently grow more copies of the same violation.
+
+Schema (``gms-lint-baseline/v1``)::
+
+    {"schema": "gms-lint-baseline/v1",
+     "entries": [{"rule": "GMS001", "path": "src/...", "message": "..."}]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Counter as CounterT
+from typing import Dict, List, Tuple
+from collections import Counter
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BASELINE_SCHEMA"]
+
+BASELINE_SCHEMA = "gms-lint-baseline/v1"
+
+_Key = Tuple[str, str, str]
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, entries: CounterT[_Key] = None) -> None:
+        self.entries: CounterT[_Key] = Counter(entries or ())
+
+    # -- I/O ----------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+                f"got {payload.get('schema')!r}"
+            )
+        entries: CounterT[_Key] = Counter()
+        for entry in payload.get("entries", ()):
+            entries[(entry["rule"], entry["path"], entry["message"])] += 1
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(Counter(f.baseline_key() for f in findings))
+
+    def dump(self, path: Path) -> None:
+        entries = sorted(self.entries.elements())
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [
+                {"rule": rule, "path": rel, "message": message}
+                for rule, rel, message in entries
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    # -- matching -----------------------------------------------------------
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into (new, baselined), consuming entries.
+
+        Each baseline entry absorbs at most one finding, in sorted
+        finding order, so the split is deterministic and a duplicate
+        violation beyond the grandfathered count surfaces as new.
+        """
+        budget = Counter(self.entries)
+        new: List[Finding] = []
+        old: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.baseline_key()
+            if budget[key] > 0:
+                budget[key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def stale_entries(self, findings: List[Finding]) -> List[Dict[str, str]]:
+        """Baseline entries no current finding matches (fixed violations).
+
+        Reported so the baseline file shrinks as debt is paid instead of
+        fossilizing — a stale entry is a nudge, not a gate failure.
+        """
+        budget = Counter(self.entries)
+        budget.subtract(Counter(f.baseline_key() for f in findings))
+        stale = []
+        for (rule, path, message), count in sorted(budget.items()):
+            for _ in range(max(0, count)):
+                stale.append({"rule": rule, "path": path, "message": message})
+        return stale

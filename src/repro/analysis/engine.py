@@ -1,0 +1,245 @@
+"""The ``repro lint`` analysis engine.
+
+One :class:`ModuleContext` per analyzed file (path, parsed AST, source,
+alias-aware :class:`~repro.analysis.resolve.ImportMap`, inline
+suppressions), a plugin registry of :class:`Rule` objects keyed by id,
+and the drivers :func:`analyze_source` / :func:`analyze_paths` that walk
+files, run the selected rules, filter ``# gms: ignore[...]`` lines, and
+return sorted :class:`~repro.analysis.findings.Finding` lists.
+
+Rules self-register at import time via the :func:`register` decorator;
+importing :mod:`repro.analysis.rules` loads the built-in pack.  A rule
+is an object with ``id`` (``"GMS0xx"``), ``title``, and
+``check(ctx) -> iterable of Finding`` — nothing else, so project rules
+can be added by dropping a module into ``analysis/rules/`` and
+importing it from the pack's ``__init__``.
+
+Inline suppressions
+-------------------
+A comment ``# gms: ignore[GMS001]`` (ids comma-separated) on a line
+suppresses that line's findings for the named rules; a bare
+``# gms: ignore`` suppresses every rule on the line.  Suppressions are
+read with :mod:`tokenize`, so the marker inside a string literal is
+inert.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .findings import Finding
+from .resolve import ImportMap
+
+__all__ = [
+    "Rule",
+    "ModuleContext",
+    "register",
+    "registered_rules",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+    "LintError",
+]
+
+_IGNORE_RE = re.compile(
+    r"#\s*gms:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s]*)\])?"
+)
+
+#: Suppression marker meaning "every rule".
+_ALL = "*"
+
+
+class LintError(RuntimeError):
+    """A file could not be analyzed (syntax error, unreadable)."""
+
+
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    def __init__(self, source: str, relpath: str, module: str = "") -> None:
+        self.source = source
+        #: Repo-relative POSIX path — the path findings carry.
+        self.relpath = relpath
+        #: Dotted module name when known ("repro.core.ops"), else "".
+        self.module = module
+        try:
+            self.tree = ast.parse(source, filename=relpath)
+        except SyntaxError as exc:
+            raise LintError(f"{relpath}: cannot parse: {exc}") from exc
+        self.imports = ImportMap.from_tree(self.tree, module)
+        self.suppressions = _scan_suppressions(source)
+
+    # -- helpers for rules --------------------------------------------------
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a Name/Attribute chain."""
+        return self.imports.resolve(node)
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        ids = self.suppressions.get(finding.line)
+        return ids is not None and (_ALL in ids or finding.rule in ids)
+
+
+def _scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → rule ids suppressed on that line."""
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _IGNORE_RE.search(token.string)
+            if not match:
+                continue
+            ids = match.group("ids")
+            line = token.start[0]
+            if ids is None or not ids.strip():
+                suppressed.setdefault(line, set()).add(_ALL)
+            else:
+                for rule_id in ids.split(","):
+                    rule_id = rule_id.strip()
+                    if rule_id:
+                        suppressed.setdefault(line, set()).add(rule_id)
+    except tokenize.TokenizeError:
+        pass  # unparseable tail: the ast parse is the arbiter of validity
+    return suppressed
+
+
+class Rule:
+    """Base class for analysis rules (subclass and :func:`register`)."""
+
+    id: str = ""
+    title: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+#: Registry of rule instances keyed by rule id, populated by @register.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def registered_rules() -> Dict[str, Rule]:
+    """The built-in rule pack, id → rule instance (loads on first use)."""
+    from . import rules  # noqa: F401 — importing registers the pack
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _select_rules(select: Optional[Sequence[str]],
+                  ignore: Optional[Sequence[str]]) -> List[Rule]:
+    rules = registered_rules()
+    chosen = list(select) if select else sorted(rules)
+    unknown = [rule_id for rule_id in chosen if rule_id not in rules]
+    if unknown:
+        known = ", ".join(sorted(rules))
+        raise LintError(
+            f"unknown rule id(s) {', '.join(unknown)}; known: {known}"
+        )
+    dropped = set(ignore or ())
+    return [rules[rule_id] for rule_id in chosen if rule_id not in dropped]
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    module: str = "",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rule pack over one in-memory source.
+
+    This is the fixture-level entry point the rule tests drive: pass a
+    snippet and the repo-relative path it should pretend to live at
+    (rules scope on the path), get sorted findings back with inline
+    suppressions already applied.
+    """
+    ctx = ModuleContext(source, relpath, module=module)
+    findings: List[Finding] = []
+    for rule in _select_rules(select, ignore):
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            seen.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            seen.add(path)
+    return sorted(seen)
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Best-effort dotted module name of *path* under *root*.
+
+    Walks the repo-relative parts looking for the first package segment
+    (conventionally ``repro`` under ``src/``); returns "" when the file
+    does not live in a recognizable package, which disables relative-
+    import resolution but nothing else.
+    """
+    try:
+        parts = list(path.resolve().relative_to(root.resolve()).parts)
+    except ValueError:
+        return ""
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    stem = Path(parts[-1]).stem
+    parts = parts[:-1] + ([stem] if stem != "__init__" else ["__init__"])
+    return ".".join(parts)
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    root: Path,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the rules over files/directories; return sorted findings.
+
+    Paths in findings are relative to *root* with POSIX separators, so
+    artifacts and baselines are byte-stable across checkouts.
+    """
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        resolved = path.resolve()
+        try:
+            relpath = resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = resolved.as_posix()
+        source = resolved.read_text(encoding="utf-8")
+        module = module_name_for(resolved, root)
+        findings.extend(
+            analyze_source(source, relpath, module=module,
+                           select=select, ignore=ignore)
+        )
+    return sorted(findings)

@@ -1,0 +1,77 @@
+"""GMS001 — set-algebra purity in the algorithm layers.
+
+The suite's comparability story requires that every candidate-set
+operation in the algorithm layers (``mining/``, ``learning/``,
+``optimization/``) routes through the audited :class:`SetBase` algebra:
+that is what makes counts identical across backends and the per-op
+counters meaningful.  A kernel that reaches for numpy's raw array set
+routines (``intersect1d``/``setdiff1d``/``union1d``/``in1d``/``isin``)
+— or hand-rolls a union as ``np.unique(np.concatenate(...))`` —
+bypasses both the dispatch layer and the work accounting, silently
+desynchronizing the performance model from the measured kernels.
+
+The check resolves aliases (``import numpy as np``, ``from numpy import
+intersect1d as ix``) through the module's import map, so renaming an
+import does not evade it — the weakness of the string-grep test this
+rule replaces.
+
+The ``core/``/``approx/``/``compress/`` layers are exempt by scope:
+they *are* the audited implementations the algebra dispatches to.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..engine import Finding, ModuleContext, Rule, register
+
+#: numpy's raw array-set routines — the bypasses this rule exists for.
+_NUMPY_SET_OPS = frozenset(
+    f"numpy.{name}" for name in
+    ("intersect1d", "setdiff1d", "union1d", "in1d", "isin")
+) | frozenset(
+    f"numpy.lib.arraysetops.{name}" for name in
+    ("intersect1d", "setdiff1d", "union1d", "in1d", "isin")
+)
+
+#: Layers whose files must speak only the SetBase algebra.
+_SCOPE = re.compile(r"(^|/)repro/(mining|learning|optimization)/")
+
+
+@register
+class SetAlgebraPurityRule(Rule):
+    id = "GMS001"
+    title = ("algorithm layers must use the SetBase algebra, "
+             "not raw numpy set routines")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not _SCOPE.search(ctx.relpath):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _NUMPY_SET_OPS:
+                yield ctx.finding(
+                    node, self.id,
+                    f"call to {resolved} bypasses the SetBase algebra "
+                    f"(route candidate-set work through a registered "
+                    f"set class so it stays dispatched and accounted)",
+                )
+            elif resolved == "numpy.unique" and _is_union_idiom(ctx, node):
+                yield ctx.finding(
+                    node, self.id,
+                    "np.unique(np.concatenate(...)) is a raw sorted-array "
+                    "union; use SetBase.union so the merge is dispatched "
+                    "and accounted",
+                )
+
+
+def _is_union_idiom(ctx: ModuleContext, node: ast.Call) -> bool:
+    """``np.unique(np.concatenate(...))`` — a hand-rolled union."""
+    if not node.args or not isinstance(node.args[0], ast.Call):
+        return False
+    inner = ctx.resolve(node.args[0].func) or ""
+    return inner in ("numpy.concatenate", "numpy.hstack", "numpy.append")

@@ -1,0 +1,108 @@
+"""GMS005 — determinism of artifact-feeding values.
+
+The suite's determinism gates (``suite-diff``, the parallel-vs-
+sequential CI checks) only work because every value that lands in an
+artifact is a pure function of the inputs and declared seeds.  Three
+classic leaks of nondeterminism are flagged:
+
+* **global-state RNG draws** — ``random.random()`` /
+  ``np.random.randint(...)`` etc. consume interpreter-global state that
+  depends on call order across the whole process; the sanctioned
+  pattern is an explicitly seeded generator
+  (``np.random.default_rng(seed)`` / ``random.Random(seed)``), which
+  every existing call site already uses;
+* **wall-clock reads outside timing fields** — ``datetime.now()`` /
+  ``utcnow()`` / ``date.today()`` baked into result values make
+  artifacts machine-dependent (``time.time()`` is exempt: it feeds the
+  timing fields that ``suite-diff`` strips by design);
+* **builtin-set iteration feeding results** — ``for x in set(...)``
+  iterates in hash order; reassembled outputs must iterate sorted
+  arrays or the SetBase algebra (whose iteration is ascending by
+  contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, ModuleContext, Rule, register
+
+#: Global-state draws on the stdlib random module.
+_RANDOM_DRAWS = frozenset(
+    f"random.{name}" for name in (
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "expovariate",
+        "betavariate", "triangular", "getrandbits", "randbytes",
+    )
+)
+
+#: Global-state draws on numpy's legacy random API.  The seeded
+#: constructors (default_rng, Generator, SeedSequence, RandomState) are
+#: deliberately absent.
+_NP_RANDOM_DRAWS = frozenset(
+    f"numpy.random.{name}" for name in (
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+        "standard_normal", "bytes", "beta", "binomial", "poisson",
+        "exponential", "geometric",
+    )
+)
+
+_WALL_CLOCK = frozenset({
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "datetime.now", "datetime.utcnow",
+})
+
+
+@register
+class DeterminismRule(Rule):
+    id = "GMS005"
+    title = ("artifact values must come from seeded RNGs and ordered "
+             "iteration, not global state")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                yield from self._check_iteration(ctx, node)
+
+    def _check_call(self, ctx: ModuleContext,
+                    node: ast.Call) -> Iterable[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return
+        if resolved in _RANDOM_DRAWS or resolved in _NP_RANDOM_DRAWS:
+            yield ctx.finding(
+                node, self.id,
+                f"{resolved} draws from interpreter-global RNG state; "
+                f"use an explicitly seeded generator "
+                f"(np.random.default_rng(seed) / random.Random(seed)) "
+                f"so artifacts replay deterministically",
+            )
+        elif resolved in _WALL_CLOCK:
+            yield ctx.finding(
+                node, self.id,
+                f"{resolved} reads the wall clock into a value; artifact "
+                f"fields must be machine-independent (timing fields go "
+                f"through the metered time.time() paths suite-diff "
+                f"strips)",
+            )
+
+    def _check_iteration(self, ctx: ModuleContext,
+                         node) -> Iterable[Finding]:
+        iterable = node.iter
+        if not isinstance(iterable, ast.Call):
+            return
+        func = iterable.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            # `sorted(set(...))` normalizes and is fine — that wraps the
+            # set() call in sorted(), so the For iterates sorted(), not
+            # set(), and never reaches this branch.
+            yield ctx.finding(
+                iterable, self.id,
+                "iterating a builtin set feeds hash order into the "
+                "result; sort first (sorted(...)) or use a SetBase "
+                "class, whose iteration is ascending by contract",
+            )

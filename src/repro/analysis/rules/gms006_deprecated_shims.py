@@ -1,0 +1,79 @@
+"""GMS006 — no internal callers of the deprecated shims.
+
+PR 5 demoted ``run_suite(plan)`` and ``Args.resolve_set_class_for_graph``
+to deprecation shims: the former spins up (and tears down) a throwaway
+``MiningSession`` per call, the latter hides the graph-aware resolution
+behind mutable parser state.  External users get a
+``DeprecationWarning``; *internal* code has no excuse — a shim call
+inside the repo re-introduces the per-call pool churn the session API
+exists to eliminate, and keeps the shim load-bearing forever.
+
+Flagged:
+
+* calls resolving to ``repro.platform.run_suite`` /
+  ``repro.platform.suite.run_suite`` (the replacement is
+  ``MiningSession.run_plan`` — ``run_suite_parallel`` is fine);
+* method-style ``<args>.resolve_set_class_for_graph(...)`` calls, i.e.
+  an ``Attribute`` call whose receiver is not the
+  ``repro.platform.cli`` module (the module-level function of the same
+  name *is* the blessed replacement).
+
+The defining modules themselves are exempt — a shim may implement
+itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import Finding, ModuleContext, Rule, register
+
+_RUN_SUITE_TARGETS = frozenset({
+    "repro.platform.run_suite",
+    "repro.platform.suite.run_suite",
+})
+
+#: Module prefixes the blessed function-form resolver lives in: a call
+#: spelled ``cli.resolve_set_class_for_graph(...)`` through one of these
+#: is the replacement, not the shim.
+_RESOLVER_MODULES = frozenset({
+    "repro.platform.cli", "repro.platform",
+})
+
+#: The shims' own homes (definitions and their doc examples).
+_EXEMPT_PATHS = ("repro/platform/cli.py", "repro/platform/suite.py")
+
+
+@register
+class DeprecatedShimRule(Rule):
+    id = "GMS006"
+    title = ("internal code must not call the run_suite / "
+             "Args.resolve_set_class_for_graph deprecation shims")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.relpath.endswith(_EXEMPT_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func)
+            if resolved in _RUN_SUITE_TARGETS:
+                yield ctx.finding(
+                    node, self.id,
+                    "run_suite is a deprecation shim (throwaway session "
+                    "+ pool per call); use MiningSession.run_plan on a "
+                    "resident session",
+                )
+                continue
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "resolve_set_class_for_graph":
+                receiver = ctx.resolve(node.func.value)
+                if receiver in _RESOLVER_MODULES:
+                    continue  # module-form call: the blessed replacement
+                yield ctx.finding(
+                    node, self.id,
+                    "Args.resolve_set_class_for_graph is a deprecation "
+                    "shim; call repro.platform.cli."
+                    "resolve_set_class_for_graph(graph, ...) directly",
+                )

@@ -15,6 +15,7 @@ Every entry records the paper graph it mirrors and why it was selected, and
 from __future__ import annotations
 
 import gzip
+import logging
 import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
@@ -33,6 +34,8 @@ __all__ = [
     "fetch_dataset",
     "suite",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -434,6 +437,8 @@ def fetch_dataset(name: str, timeout: float = 60.0) -> str:
     try:
         _parse_real_edge_list(staging)
     except Exception:
+        logger.debug("discarding unparseable staged download for %s "
+                     "(%s)", name, staging, exc_info=True)
         os.remove(staging)
         raise
     os.replace(staging, path)
@@ -459,7 +464,11 @@ def _load_real(name: str) -> CSRGraph:
             _PROVENANCE[name] = "download"
             return _parse_real_edge_list(path)
         except Exception:
-            pass  # offline or blocked: fall through to the synthetic twin
+            # Offline or blocked: fall through to the synthetic twin —
+            # but leave a trail, or a misconfigured mirror looks
+            # identical to an intentional offline run.
+            logger.debug("auto-fetch of dataset %r failed; using the "
+                         "synthetic fallback", name, exc_info=True)
     _PROVENANCE[name] = "fallback"
     return spec.fallback()
 

@@ -848,7 +848,9 @@ def running_server(session: Optional[MiningSession] = None,
         asyncio.set_event_loop(loop)
         try:
             loop.run_until_complete(server.start())
-        except BaseException as exc:  # surface bind failures to the caller
+        # Not a swallow: the exception is stored and re-raised to the
+        # caller once the startup handshake completes.
+        except BaseException as exc:  # gms: ignore[GMS004]
             startup_error.append(exc)
             started.set()
             return

@@ -104,6 +104,7 @@ pool when ``workers > 1``.
 
 from __future__ import annotations
 
+import logging
 import pickle
 import time
 from collections import OrderedDict
@@ -135,6 +136,8 @@ __all__ = [
     "QueryResult",
     "resolve_ordering_name",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Friendly ordering names accepted by :meth:`Query.ordering` (and the
 #: serve REPL) next to the registry mnemonics.
@@ -675,6 +678,12 @@ class MiningSession:
                     entries[name] = make()
                     break
                 except Exception:
+                    # Degrade to the next transport candidate — but log
+                    # which one failed, or a dataset silently shipping
+                    # by pickle looks identical to zero-copy shm.
+                    logger.debug("warm-payload candidate for dataset %r "
+                                 "failed; degrading to the next transport",
+                                 name, exc_info=True)
                     continue
         return pickle.dumps(entries), frozenset(entries)
 
@@ -696,6 +705,8 @@ class MiningSession:
         try:
             return pickle.dumps(("shm", payload, budget))
         except Exception:
+            logger.debug("releasing shm payload for unpicklable entry "
+                         "before falling back", exc_info=True)
             release_graph_payload(exporter, payload)
             raise
 
